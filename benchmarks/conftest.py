@@ -1,0 +1,18 @@
+"""Benchmark configuration.
+
+Table-level benches regenerate whole experiments; they run with a single
+round so `pytest benchmarks/ --benchmark-only` stays in interactive
+territory while still producing timings comparable across runs.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (rounds=1, iterations=1)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

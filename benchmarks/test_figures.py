@@ -1,0 +1,123 @@
+"""Figure regeneration benches (Figs. 14-16).
+
+Each test writes the corresponding SVG(s) under ``out/`` and asserts the
+visual content exists (elements present, meanders drawn).
+"""
+
+import os
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.bench.designs import (
+    TABLE2_DGAPS,
+    make_any_direction_design,
+    make_msdtw_case,
+    make_table1_case,
+    make_table2_design,
+)
+from repro.bench.harness import _table2_extender, run_figures
+from repro.core import LengthMatchingRouter
+from repro.dtw import convert_pair, restore_pair
+from repro.viz import render_board
+
+OUT = "out"
+NS = "{http://www.w3.org/2000/svg}"
+
+
+def _polyline_count(svg: str) -> int:
+    return len(ET.fromstring(svg).findall(f"{NS}polyline"))
+
+
+def test_fig14a_length_matching_display(once):
+    """Fig. 14(a): a routed Table I case, before/after overlay."""
+    os.makedirs(OUT, exist_ok=True)
+
+    def produce():
+        board, _ = make_table1_case(1)
+        reference = {t.name: t.path for t in board.traces}
+        LengthMatchingRouter(board).match_group(board.groups[0])
+        return render_board(board, os.path.join(OUT, "fig14a.svg"), reference=reference)
+
+    svg = once(produce)
+    assert _polyline_count(svg) >= 16  # 8 references + 8 meandered traces
+
+
+def test_fig14b_any_direction(once):
+    """Fig. 14(b): any-direction functionality display."""
+    os.makedirs(OUT, exist_ok=True)
+
+    def produce():
+        board = make_any_direction_design()
+        reference = {t.name: t.path for t in board.traces}
+        LengthMatchingRouter(board).match_group(board.groups[0])
+        return render_board(board, os.path.join(OUT, "fig14b.svg"), reference=reference)
+
+    svg = once(produce)
+    assert _polyline_count(svg) >= 6
+
+
+@pytest.mark.parametrize("case_idx", [1, 5, 6])
+def test_fig15_extension_displays(once, case_idx):
+    """Fig. 15: Table II case rendered with and without DP."""
+    os.makedirs(OUT, exist_ok=True)
+    dgap = TABLE2_DGAPS[case_idx - 1]
+
+    def produce():
+        outputs = {}
+        for use_dp in (True, False):
+            board, trace = make_table2_design(dgap)
+            extender = _table2_extender(board, trace, use_dp)
+            result = extender.extension_upper_bound(trace)
+            board.replace_trace(result.trace)
+            tag = "dp" if use_dp else "nodp"
+            outputs[use_dp] = (
+                render_board(
+                    board,
+                    os.path.join(OUT, f"fig15_case{case_idx}_{tag}.svg"),
+                    reference={trace.name: trace.path},
+                ),
+                result.achieved,
+            )
+        return outputs
+
+    outputs = once(produce)
+    # The DP rendering shows more meander than the fixed-track one.
+    assert outputs[True][1] > outputs[False][1]
+
+
+def test_fig16_msdtw_displays(once):
+    """Fig. 16: merged median trace (a) and restored pair (b)."""
+    os.makedirs(OUT, exist_ok=True)
+
+    def produce():
+        from repro.model import Board
+
+        board, pair = make_msdtw_case()
+        base_rules = board.rules.rules_for_points(pair.trace_p.path.points)
+        conversion = convert_pair(pair, base_rules)
+        a = render_board(
+            Board(outline=board.outline, rules=board.rules,
+                  traces=[conversion.median], pairs=[pair],
+                  obstacles=board.obstacles),
+            os.path.join(OUT, "fig16a.svg"),
+        )
+        restoration = restore_pair(conversion, conversion.median)
+        b = render_board(
+            Board(outline=board.outline, rules=board.rules,
+                  traces=[conversion.median], pairs=[restoration.pair],
+                  obstacles=board.obstacles),
+            os.path.join(OUT, "fig16b.svg"),
+        )
+        return a, b
+
+    a, b = once(produce)
+    assert _polyline_count(a) >= 3 and _polyline_count(b) >= 3
+
+
+def test_all_figures_harness(once):
+    """Bench: the one-shot figure harness used by the CLI."""
+    produced = once(run_figures, OUT, False)
+    assert len(produced) == 10
+    for name in produced:
+        assert os.path.exists(os.path.join(OUT, f"{name}.svg"))

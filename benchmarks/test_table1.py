@@ -1,0 +1,52 @@
+"""Table I — overall length-matching performance (ours vs. AiDT proxy).
+
+Each case regenerates the paper's row: initial / AiDT / ours errors
+(Eq. 19) and both runtimes.  Shape assertions encode the paper's claims:
+our router matches tighter than the gridded proxy in every case, and on
+the sparse differential case it is also the faster engine.
+"""
+
+import pytest
+
+from repro.bench.designs import TABLE1_SPECS, make_table1_case
+from repro.bench.harness import run_table1
+from repro.core import AiDTProxy, LengthMatchingRouter
+
+
+@pytest.mark.parametrize("case", [s.case for s in TABLE1_SPECS])
+def test_table1_ours(once, case):
+    """Bench: our router on one Table I case."""
+    board, spec = make_table1_case(case)
+    group = board.groups[0]
+
+    report = once(LengthMatchingRouter(board).match_group, group)
+
+    assert report.max_error() < 0.11  # the paper's worst "ours" is 10.3%
+    assert report.max_error() <= report.initial_max_error()
+
+
+@pytest.mark.parametrize("case", [s.case for s in TABLE1_SPECS])
+def test_table1_aidt_proxy(once, case):
+    """Bench: the AiDT proxy on one Table I case."""
+    board, spec = make_table1_case(case)
+    group = board.groups[0]
+
+    report = once(AiDTProxy(board).match_group, group)
+
+    assert report.max_error() <= report.initial_max_error() + 1e-9
+
+
+def test_table1_full_table(once):
+    """Bench: regenerate the whole Table I and check its shape."""
+    rows = once(run_table1, None, False)
+    assert len(rows) == len(TABLE1_SPECS)
+    for row in rows:
+        # Who wins: our errors beat the proxy's in every case.
+        assert row.ours_max <= row.aidt_max + 1e-9
+        assert row.ours_avg <= row.aidt_avg + 1e-9
+    dense = [r for r in rows if r.spacing == "dense"]
+    sparse = [r for r in rows if r.spacing == "sparse"]
+    # Crossover: the proxy is quicker on dense single-ended groups, ours is
+    # quicker on the sparse differential group (the paper's runtime story).
+    assert all(r.aidt_runtime < r.ours_runtime for r in dense)
+    assert all(r.ours_runtime < r.aidt_runtime for r in sparse)

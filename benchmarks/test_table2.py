@@ -1,0 +1,41 @@
+"""Table II — DP ablation: extension upper bound with vs. without DP.
+
+Regenerates every row (Eq. 20) and asserts the paper's trends: the DP
+engine dominates the fixed-track baseline at every d_gap, bounds decrease
+as the DRC tightens, and the DP's relative advantage grows with d_gap.
+"""
+
+import pytest
+
+from repro.bench.designs import TABLE2_DGAPS
+from repro.bench.harness import _table2_upper_bound, run_table2
+
+
+@pytest.mark.parametrize("dgap", TABLE2_DGAPS)
+def test_table2_with_dp(once, dgap):
+    """Bench: DP extension upper bound at one d_gap."""
+    bound = once(_table2_upper_bound, dgap, True)
+    assert bound > 300.0  # paper's with-DP range: 327..879%
+
+
+@pytest.mark.parametrize("dgap", TABLE2_DGAPS)
+def test_table2_without_dp(once, dgap):
+    """Bench: fixed-track upper bound at one d_gap."""
+    bound = once(_table2_upper_bound, dgap, False)
+    assert bound > 50.0  # paper's without-DP range: 80..846%
+
+
+def test_table2_full_table(once):
+    """Bench: regenerate the whole Table II and check its shape."""
+    rows = once(run_table2, None, False)
+    assert len(rows) == len(TABLE2_DGAPS)
+    for row in rows:
+        assert row.with_dp > row.without_dp  # DP wins at every d_gap
+    # Both bounds decrease as the DRC tightens...
+    assert rows[0].with_dp > rows[-1].with_dp
+    assert rows[0].without_dp > rows[-1].without_dp
+    # ...and the DP's relative advantage grows (the paper's 1.04x -> 4.1x).
+    assert (
+        rows[-1].with_dp / rows[-1].without_dp
+        > rows[0].with_dp / rows[0].without_dp
+    )

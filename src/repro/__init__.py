@@ -1,0 +1,100 @@
+"""repro — obstacle-aware length-matching routing for any-direction PCB traces.
+
+A full reproduction of the DAC 2024 paper "Obstacle-Aware Length-Matching
+Routing for Any-Direction Traces in Printed Circuit Board" (Fang et al.),
+built as a standalone library:
+
+* :mod:`repro.geometry` — the computational-geometry substrate;
+* :mod:`repro.model` — boards, traces, differential pairs, rules, groups;
+* :mod:`repro.drc` — the design-rule checker (the test oracle);
+* :mod:`repro.region` — Sec. III's LP region assignment;
+* :mod:`repro.core` — Sec. IV's DP-based segment extension and the router;
+* :mod:`repro.dtw` — Sec. V's MSDTW differential-pair handling;
+* :mod:`repro.viz` — SVG rendering;
+* :mod:`repro.bench` — designs, metrics and the table/figure harness.
+
+Quickstart::
+
+    from repro import Board, DesignRules, MatchGroup, Trace, Polyline, Point
+    from repro import LengthMatchingRouter
+
+    board = Board.with_rect_outline(0, 0, 100, 60, DesignRules(dgap=4))
+    t = board.add_trace(Trace("sig0", Polyline([Point(5, 10), Point(95, 10)])))
+    group = MatchGroup("bus", members=[t], target_length=120.0)
+    board.add_group(group)
+    report = LengthMatchingRouter(board).match_group(group)
+    print(report.max_error())
+"""
+
+from .geometry import Point, Polygon, Polyline, Segment
+from .model import (
+    Board,
+    DesignRuleArea,
+    DesignRules,
+    DifferentialPair,
+    MatchGroup,
+    Obstacle,
+    RuleSet,
+    Trace,
+    via,
+)
+from .drc import DrcReport, Violation, ViolationKind, check_board
+from .core import (
+    AiDTProxy,
+    ExtensionConfig,
+    ExtensionResult,
+    FixedTrackMeander,
+    GroupReport,
+    LengthMatchingRouter,
+    MemberReport,
+    RouterConfig,
+    TraceExtender,
+)
+from .dtw import MSDTWResult, convert_pair, msdtw, restore_pair
+from .region import Assignment, assign_regions, apply_assignment
+from .viz import render_board
+from .io import board_from_json, board_to_json, load_board, save_board
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Point",
+    "Polygon",
+    "Polyline",
+    "Segment",
+    "Board",
+    "DesignRuleArea",
+    "DesignRules",
+    "DifferentialPair",
+    "MatchGroup",
+    "Obstacle",
+    "RuleSet",
+    "Trace",
+    "via",
+    "DrcReport",
+    "Violation",
+    "ViolationKind",
+    "check_board",
+    "AiDTProxy",
+    "ExtensionConfig",
+    "ExtensionResult",
+    "FixedTrackMeander",
+    "GroupReport",
+    "LengthMatchingRouter",
+    "MemberReport",
+    "RouterConfig",
+    "TraceExtender",
+    "MSDTWResult",
+    "convert_pair",
+    "msdtw",
+    "restore_pair",
+    "Assignment",
+    "assign_regions",
+    "apply_assignment",
+    "render_board",
+    "board_from_json",
+    "board_to_json",
+    "load_board",
+    "save_board",
+    "__version__",
+]

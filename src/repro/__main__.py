@@ -1,0 +1,15 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Thin wrapper over the benchmark harness so the evaluation regenerates
+without writing any code:
+
+    python -m repro table1
+    python -m repro table2
+    python -m repro figures --outdir out
+    python -m repro all
+"""
+
+from .bench.harness import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Benchmark substrate: synthetic designs, metrics, table/figure harness."""
+
+from .metrics import (
+    Table1Row,
+    Table2Row,
+    avg_error_pct,
+    extension_upper_bound_pct,
+    format_table,
+    max_error_pct,
+)
+from .designs import (
+    TABLE1_SPECS,
+    TABLE2_DGAPS,
+    TABLE2_LENGTH,
+    TABLE2_WIDTH,
+    Table1Spec,
+    make_any_direction_design,
+    make_msdtw_case,
+    make_table1_case,
+    make_table2_design,
+)
+from .harness import run_figures, run_table1, run_table2
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "avg_error_pct",
+    "extension_upper_bound_pct",
+    "format_table",
+    "max_error_pct",
+    "TABLE1_SPECS",
+    "TABLE2_DGAPS",
+    "TABLE2_LENGTH",
+    "TABLE2_WIDTH",
+    "Table1Spec",
+    "make_any_direction_design",
+    "make_msdtw_case",
+    "make_table1_case",
+    "make_table2_design",
+    "run_figures",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,235 @@
+"""Benchmark harness — regenerates every table and figure of Sec. VI.
+
+Each ``run_*`` function returns the structured rows and prints the same
+columns the paper reports; ``python -m repro.bench.harness all`` rebuilds
+everything, including the SVG figures under ``out/``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..core import (
+    AiDTProxy,
+    ExtensionConfig,
+    FixedTrackMeander,
+    LengthMatchingRouter,
+    TraceExtender,
+)
+from ..dtw import convert_pair, restore_pair
+from ..model import Board, Trace
+from ..viz import render_board
+from .designs import (
+    TABLE1_SPECS,
+    TABLE2_DGAPS,
+    TABLE2_LENGTH,
+    TABLE2_WIDTH,
+    make_any_direction_design,
+    make_msdtw_case,
+    make_table1_case,
+    make_table2_design,
+)
+from .metrics import (
+    Table1Row,
+    Table2Row,
+    avg_error_pct,
+    extension_upper_bound_pct,
+    format_table,
+    max_error_pct,
+)
+
+
+# -- Table I --------------------------------------------------------------------------
+
+
+def run_table1(
+    cases: Optional[Sequence[int]] = None, verbose: bool = True
+) -> List[Table1Row]:
+    """Overall length-matching performance: ours vs. the AiDT proxy."""
+    rows: List[Table1Row] = []
+    for case in cases or [s.case for s in TABLE1_SPECS]:
+        board_ours, spec = make_table1_case(case)
+        board_aidt, _ = make_table1_case(case)
+
+        group_ours = board_ours.groups[0]
+        initial_max = max_error_pct(
+            spec.l_target, [m.length() for m in group_ours.members]
+        )
+        initial_avg = avg_error_pct(
+            spec.l_target, [m.length() for m in group_ours.members]
+        )
+
+        t0 = time.perf_counter()
+        aidt_report = AiDTProxy(board_aidt).match_group(board_aidt.groups[0])
+        aidt_runtime = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        ours_report = LengthMatchingRouter(board_ours).match_group(group_ours)
+        ours_runtime = time.perf_counter() - t0
+
+        rows.append(
+            Table1Row(
+                case=spec.case,
+                l_target=spec.l_target,
+                dgap=spec.dgap,
+                group_size=spec.group_size,
+                trace_type=spec.trace_type,
+                spacing=spec.spacing,
+                initial_max=initial_max,
+                aidt_max=aidt_report.max_error() * 100.0,
+                ours_max=ours_report.max_error() * 100.0,
+                initial_avg=initial_avg,
+                aidt_avg=aidt_report.avg_error() * 100.0,
+                ours_avg=ours_report.avg_error() * 100.0,
+                aidt_runtime=aidt_runtime,
+                ours_runtime=ours_runtime,
+            )
+        )
+    if verbose:
+        print("\nTable I — length-matching performance (errors in %)")
+        print(format_table(Table1Row.HEADER, rows))
+    return rows
+
+
+# -- Table II --------------------------------------------------------------------------
+
+
+def run_table2(
+    dgaps: Optional[Sequence[float]] = None, verbose: bool = True
+) -> List[Table2Row]:
+    """DP ablation: extension upper bound with vs. without DP (Eq. 20)."""
+    rows: List[Table2Row] = []
+    for case, dgap in enumerate(dgaps or TABLE2_DGAPS, start=1):
+        with_dp = _table2_upper_bound(dgap, use_dp=True)
+        without_dp = _table2_upper_bound(dgap, use_dp=False)
+        rows.append(
+            Table2Row(
+                case=case,
+                dgap=dgap,
+                w_trace=TABLE2_WIDTH,
+                ideal_patterns=TABLE2_LENGTH / dgap,
+                with_dp=with_dp,
+                without_dp=without_dp,
+            )
+        )
+    if verbose:
+        print("\nTable II — extension upper bound with and without DP (Eq. 20, %)")
+        print(format_table(Table2Row.HEADER, rows))
+    return rows
+
+
+def _table2_extender(board: Board, trace: Trace, use_dp: bool):
+    rules = board.rules.rules_for_points(trace.path.points)
+    area = board.member_routable_area(trace)
+    cls = TraceExtender if use_dp else FixedTrackMeander
+    return cls(
+        rules=rules,
+        area=area,
+        obstacles=board.obstacles,
+        other_traces=[],
+        config=ExtensionConfig(max_iterations=800),
+    )
+
+
+def _table2_upper_bound(dgap: float, use_dp: bool) -> float:
+    board, trace = make_table2_design(dgap)
+    extender = _table2_extender(board, trace, use_dp)
+    result = extender.extension_upper_bound(trace)
+    return extension_upper_bound_pct(trace.length(), result.achieved)
+
+
+# -- figures ----------------------------------------------------------------------------
+
+
+def run_figures(outdir: str = "out", verbose: bool = True) -> Dict[str, str]:
+    """Regenerate the display figures (Figs. 14-16) as SVGs."""
+    os.makedirs(outdir, exist_ok=True)
+    produced: Dict[str, str] = {}
+
+    # Fig. 14(a): a Table I dense case, before (dashed) and after.
+    board, _ = make_table1_case(1)
+    reference = {t.name: t.path for t in board.traces}
+    LengthMatchingRouter(board).match_group(board.groups[0])
+    produced["fig14a"] = render_board(
+        board, os.path.join(outdir, "fig14a.svg"), reference=reference
+    )
+
+    # Fig. 14(b): any-direction functionality.
+    board = make_any_direction_design()
+    reference = {t.name: t.path for t in board.traces}
+    LengthMatchingRouter(board).match_group(board.groups[0])
+    produced["fig14b"] = render_board(
+        board, os.path.join(outdir, "fig14b.svg"), reference=reference
+    )
+
+    # Fig. 15: Table II cases 1, 5, 6 with and without DP.
+    for case_idx in (1, 5, 6):
+        dgap = TABLE2_DGAPS[case_idx - 1]
+        for use_dp in (True, False):
+            board, trace = make_table2_design(dgap)
+            extender = _table2_extender(board, trace, use_dp)
+            result = extender.extension_upper_bound(trace)
+            board.replace_trace(result.trace)
+            tag = "dp" if use_dp else "nodp"
+            key = f"fig15_case{case_idx}_{tag}"
+            produced[key] = render_board(
+                board,
+                os.path.join(outdir, f"{key}.svg"),
+                reference={trace.name: trace.path},
+            )
+
+    # Fig. 16: MSDTW merge (a) and restoration (b).
+    board, pair = make_msdtw_case()
+    base_rules = board.rules.rules_for_points(pair.trace_p.path.points)
+    conversion = convert_pair(pair, base_rules)
+    merged = Board(
+        outline=board.outline,
+        rules=board.rules,
+        traces=[conversion.median],
+        pairs=[pair],
+        obstacles=board.obstacles,
+    )
+    produced["fig16a"] = render_board(merged, os.path.join(outdir, "fig16a.svg"))
+
+    restoration = restore_pair(conversion, conversion.median)
+    restored = Board(
+        outline=board.outline,
+        rules=board.rules,
+        traces=[conversion.median],
+        pairs=[restoration.pair],
+        obstacles=board.obstacles,
+    )
+    produced["fig16b"] = render_board(restored, os.path.join(outdir, "fig16b.svg"))
+
+    if verbose:
+        for name, _ in sorted(produced.items()):
+            print(f"wrote {os.path.join(outdir, name)}.svg")
+    return produced
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "what",
+        choices=["table1", "table2", "figures", "all"],
+        help="which artefact to regenerate",
+    )
+    parser.add_argument("--outdir", default="out", help="figure output directory")
+    args = parser.parse_args(argv)
+    if args.what in ("table1", "all"):
+        run_table1()
+    if args.what in ("table2", "all"):
+        run_table2()
+    if args.what in ("figures", "all"):
+        run_figures(args.outdir)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

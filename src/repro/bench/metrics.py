@@ -1,0 +1,86 @@
+"""Evaluation metrics — Eq. (19) and Eq. (20) — and table rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def max_error_pct(target: float, lengths: Sequence[float]) -> float:
+    """``max_i (l_target - l_i) / l_target`` as a percentage (Eq. 19)."""
+    return max((target - l) / target for l in lengths) * 100.0
+
+
+def avg_error_pct(target: float, lengths: Sequence[float]) -> float:
+    """``sum_i (l_target - l_i) / (n l_target)`` as a percentage (Eq. 19)."""
+    return sum(target - l for l in lengths) / (len(lengths) * target) * 100.0
+
+
+def extension_upper_bound_pct(l_original: float, l_extended: float) -> float:
+    """``(l_extended - l_original) / l_original * 100`` (Eq. 20)."""
+    return (l_extended - l_original) / l_original * 100.0
+
+
+@dataclass
+class Table1Row:
+    """One row of Table I (overall length-matching performance)."""
+
+    case: int
+    l_target: float
+    dgap: float
+    group_size: int
+    trace_type: str
+    spacing: str
+    initial_max: float
+    aidt_max: float
+    ours_max: float
+    initial_avg: float
+    aidt_avg: float
+    ours_avg: float
+    aidt_runtime: float
+    ours_runtime: float
+
+    HEADER = (
+        f"{'case':>4} {'l_target':>9} {'dgap':>5} {'size':>4} {'type':>12} "
+        f"{'spacing':>7} | {'init':>6} {'aidt':>6} {'ours':>6} | "
+        f"{'init':>6} {'aidt':>6} {'ours':>6} | {'aidt_s':>7} {'ours_s':>7}"
+    )
+
+    def format(self) -> str:
+        return (
+            f"{self.case:>4} {self.l_target:>9.2f} {self.dgap:>5.1f} "
+            f"{self.group_size:>4} {self.trace_type:>12} {self.spacing:>7} | "
+            f"{self.initial_max:>6.2f} {self.aidt_max:>6.2f} {self.ours_max:>6.2f} | "
+            f"{self.initial_avg:>6.2f} {self.aidt_avg:>6.2f} {self.ours_avg:>6.2f} | "
+            f"{self.aidt_runtime:>7.2f} {self.ours_runtime:>7.2f}"
+        )
+
+
+@dataclass
+class Table2Row:
+    """One row of Table II (DP ablation, extension upper bound)."""
+
+    case: int
+    dgap: float
+    w_trace: float
+    ideal_patterns: float       # l_original / d_gap (the paper's 3rd column)
+    with_dp: float              # Eq. 20, %
+    without_dp: float           # Eq. 20, %
+
+    HEADER = (
+        f"{'case':>4} {'dgap':>5} {'w':>4} {'l/dgap':>7} | "
+        f"{'with DP %':>10} {'without DP %':>13}"
+    )
+
+    def format(self) -> str:
+        return (
+            f"{self.case:>4} {self.dgap:>5.1f} {self.w_trace:>4.1f} "
+            f"{self.ideal_patterns:>7.2f} | {self.with_dp:>10.2f} "
+            f"{self.without_dp:>13.2f}"
+        )
+
+
+def format_table(header: str, rows: Sequence) -> str:
+    lines = [header, "-" * len(header)]
+    lines.extend(r.format() for r in rows)
+    return "\n".join(lines)

@@ -1,0 +1,611 @@
+"""Queue-driven trace extension — the paper's Alg. 1.
+
+Segments of the trace wait in a FIFO queue.  Each pop discretizes the
+segment, builds the shrink environments of both sides, runs the DP, trims
+the restored patterns to the remaining requirement and splices them into
+the trace.  The new component segments (pattern legs, tops and the stubs
+between patterns) re-enter the queue, so later iterations meander on the
+meanders until the target is met or no segment yields gain.
+
+Environment assembly realises the paper's obstacle conversion: the
+routable-area boundary, inflated obstacles, clearance hulls of other
+traces and of the trace's own non-adjacent segments all become polygons
+the URA may not intersect.  Segments adjacent to the one being extended
+are trimmed by ``2g`` at the shared node (their URA would otherwise make
+every node-foot pattern infeasible); a post-apply rollback check restores
+the trace whenever that approximation would let a cross-structure
+``d_gap`` conflict through (DESIGN.md, "Adjacent-segment URAs").
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..drc.checker import segments_parallel_conflict
+from ..geometry import (
+    Frame,
+    Point,
+    Polygon,
+    Polyline,
+    Segment,
+    oriented_rectangle,
+)
+from ..model import DesignRules, Obstacle, Trace
+from .dp import DPConfig, SegmentDP
+from .pattern import Pattern, chain_new_segments, patterns_to_chain
+from .shrink import ShrinkEnvironment
+
+_KEY_DIGITS = 6
+
+
+@dataclass
+class ExtensionConfig:
+    """Tunables of the extension loop.
+
+    ``ldisc``: discretization step; ``None`` derives it from the rules
+    (``d_protect``, the smallest meaningful feature).  ``max_points`` caps
+    the per-segment DP size; long segments are discretized coarser, which
+    only costs optimality, never correctness.
+    """
+
+    ldisc: Optional[float] = None
+    max_points: int = 96
+    tolerance: float = 1e-3
+    max_iterations: int = 400
+    max_width_steps: Optional[int] = None
+    verify_after_apply: bool = True
+    min_extension_gain: float = 1e-6
+    #: See DPConfig.allow_node_feet; the router disables this for median
+    #: traces so pair restoration stays exact.
+    allow_node_feet: bool = True
+    #: Close residuals with two mirrored half-chevrons instead of one.
+    #: A chevron's offset-skew is odd in its bend side, so a mirrored pair
+    #: cancels it exactly — required for median traces, where any residual
+    #: skew shifts the restored pair's length.
+    mirrored_chevrons: bool = False
+    #: See DPConfig.allow_plocal (ablation switch for connected patterns).
+    allow_plocal: bool = True
+
+
+@dataclass
+class ExtensionResult:
+    """What one trace extension achieved."""
+
+    trace: Trace
+    original: Trace
+    target: float
+    achieved: float
+    iterations: int
+    patterns_applied: int
+    rollbacks: int
+
+    @property
+    def gain(self) -> float:
+        return self.achieved - self.original.length()
+
+    @property
+    def reached(self) -> bool:
+        return abs(self.target - self.achieved) <= 1e-3 or self.achieved >= self.target
+
+    def error(self) -> float:
+        """Relative matching error ``(l_target - l) / l_target``."""
+        return (self.target - self.achieved) / self.target
+
+
+def _segment_key(seg: Segment) -> Tuple[float, float, float, float]:
+    return (
+        round(seg.a.x, _KEY_DIGITS),
+        round(seg.a.y, _KEY_DIGITS),
+        round(seg.b.x, _KEY_DIGITS),
+        round(seg.b.y, _KEY_DIGITS),
+    )
+
+
+class TraceExtender:
+    """Extends one trace inside its routable area.
+
+    ``obstacles`` and ``other_traces`` are board context: everything the
+    meander must clear.  The extender never touches the other traces; the
+    caller (router) is responsible for giving each trace a consistent
+    view of its neighbours.
+    """
+
+    def __init__(
+        self,
+        rules: DesignRules,
+        area: Polygon,
+        obstacles: Sequence[Obstacle] = (),
+        other_traces: Sequence[Trace] = (),
+        config: Optional[ExtensionConfig] = None,
+    ):
+        self.rules = rules
+        self.area = area
+        self.obstacles = list(obstacles)
+        self.other_traces = list(other_traces)
+        self.config = config or ExtensionConfig()
+        xmin, ymin, xmax, ymax = area.bounds()
+        self._area_diag = math.hypot(xmax - xmin, ymax - ymin)
+
+    # -- public API -----------------------------------------------------------
+
+    def extend(self, trace: Trace, target: float) -> ExtensionResult:
+        """Meander ``trace`` toward ``target`` length (Alg. 1).
+
+        ``target=math.inf`` requests the extension *upper bound*: extend
+        as much as the space allows (the Table II experiment).
+        """
+        cfg = self.config
+        original = trace
+        path = trace.path.simplified()
+        if target < path.length() - cfg.tolerance:
+            raise ValueError(
+                f"target {target:.4f} below current length {path.length():.4f}"
+            )
+        queue: deque = deque(_segment_key(s) for s in path.segments())
+        ltrace = path.length()
+        iterations = 0
+        patterns_applied = 0
+        rollbacks = 0
+
+        h_min = max(self.rules.dprotect, 1e-6)
+        while queue and iterations < cfg.max_iterations:
+            need = target - ltrace
+            if need <= cfg.tolerance:
+                break
+            if need < 2.0 * h_min:
+                break  # below any legal pattern gain; chevron stage below
+            key = queue.popleft()
+            index = self._locate(path, key)
+            if index is None:
+                continue
+            iterations += 1
+            outcome = self._extend_segment(path, index, trace.width, need)
+            if outcome is None:
+                continue
+            chain, applied = outcome
+            candidate = path.replace_segment(index, chain)
+            if cfg.verify_after_apply and self._conflicts(
+                candidate, index, len(chain), trace.width
+            ):
+                rollbacks += 1
+                continue
+            path = candidate
+            patterns_applied += len(applied)
+            ltrace = path.length()
+            for seg in chain_new_segments(chain):
+                queue.append(_segment_key(seg))
+
+        # Finishing stage: a residual below 2*h_min cannot be closed by any
+        # legal convex pattern (each gains at least 2*d_protect), but a
+        # shallow obtuse chevron adds an arbitrarily small length with all
+        # segments above d_protect — an any-direction structure the DRC
+        # admits.  This is what makes exact targets reachable.
+        residual = target - ltrace
+        if cfg.tolerance < residual < 2.0 * h_min and math.isfinite(residual):
+            if cfg.mirrored_chevrons:
+                chevroned = self._insert_mirrored_chevrons(path, residual, trace.width)
+            else:
+                chevroned = self._insert_chevron(path, residual, trace.width)
+            if chevroned is not None:
+                path = chevroned
+                ltrace = path.length()
+
+        return ExtensionResult(
+            trace=trace.with_path(path),
+            original=original,
+            target=target,
+            achieved=ltrace,
+            iterations=iterations,
+            patterns_applied=patterns_applied,
+            rollbacks=rollbacks,
+        )
+
+    def extension_upper_bound(self, trace: Trace) -> ExtensionResult:
+        """Extend as far as the space allows (Eq. 20's ``l_extended``)."""
+        return self.extend(trace, math.inf)
+
+    def extend_mitered(self, trace: Trace, target: float) -> ExtensionResult:
+        """Extend to ``target`` with ``d_miter`` corner mitering applied.
+
+        The paper's DRC miters every right/acute rotation by obtuse angles
+        (Fig. 1).  Cutting a corner removes ``(2 - sqrt(2)) * d_miter`` of
+        length, so mitering and matching interlock: this method meanders,
+        miters, re-extends to recover the loss, and iterates.  Recovery
+        residuals are usually sub-pattern and close via (obtuse) chevrons,
+        so the loop converges in one or two rounds; freshly inserted
+        right-angle patterns from a large recovery get mitered by the next
+        round.
+        """
+        dmiter = self.rules.dmiter
+        if dmiter <= 0:
+            return self.extend(trace, target)
+        # Meander with d_protect raised by two miter cuts: every created
+        # segment can then afford a cut at both ends and still satisfy the
+        # original d_protect.
+        from dataclasses import replace as _replace
+
+        inner = TraceExtender(
+            rules=_replace(self.rules, dprotect=self.rules.dprotect + 2.0 * dmiter),
+            area=self.area,
+            obstacles=self.obstacles,
+            other_traces=self.other_traces,
+            config=self.config,
+        )
+        result = inner.extend(trace, target)
+        path = result.trace.path
+        iterations = result.iterations
+        patterns = result.patterns_applied
+        rollbacks = result.rollbacks
+        for _ in range(4):
+            from .pattern import miter_pattern_corners
+
+            mitered = Polyline(
+                miter_pattern_corners(list(path.points), dmiter)
+            ).simplified()
+            path = mitered
+            if target - path.length() <= self.config.tolerance:
+                break
+            again = inner.extend(trace.with_path(path), target)
+            path = again.trace.path
+            iterations += again.iterations
+            patterns += again.patterns_applied
+            rollbacks += again.rollbacks
+        return ExtensionResult(
+            trace=trace.with_path(path),
+            original=result.original,
+            target=target,
+            achieved=path.length(),
+            iterations=iterations,
+            patterns_applied=patterns,
+            rollbacks=rollbacks,
+        )
+
+    # -- per-segment machinery ---------------------------------------------------
+
+    def _locate(self, path: Polyline, key) -> Optional[int]:
+        for i in range(len(path.points) - 1):
+            if _segment_key(path.segment(i)) == key:
+                return i
+        return None
+
+    def _dp_config(self, seg: Segment, width: float, need: float) -> Optional[DPConfig]:
+        cfg = self.config
+        rules = self.rules
+        length = seg.length()
+        h_min = max(rules.dprotect, 1e-6)
+        base = cfg.ldisc if cfg.ldisc is not None else max(h_min, rules.dgap / 4.0)
+        n = int(math.ceil(length / base)) + 1
+        n = min(max(n, 2), cfg.max_points)
+        step = length / (n - 1)
+        w_min = max(1, int(math.ceil((h_min - 1e-9) / step)))
+        if n - 1 < w_min:
+            return None  # segment too short to hold any pattern
+        gap_eff = rules.dgap + width
+        k_gap = max(1, int(math.ceil((gap_eff - 1e-9) / step)))
+        k_protect = max(1, int(math.ceil((h_min - 1e-9) / step)))
+        g = gap_eff / 2.0
+        h_init = min(need / 2.0, self._area_diag)
+        if h_init < h_min:
+            return None
+        return DPConfig(
+            step=step,
+            n=n,
+            k_gap=k_gap,
+            k_protect=k_protect,
+            w_min=w_min,
+            h_min=h_min,
+            h_init=h_init,
+            g=g,
+            max_width_steps=cfg.max_width_steps,
+            allow_node_feet=cfg.allow_node_feet,
+            allow_plocal=cfg.allow_plocal,
+        )
+
+    def _environments(
+        self, path: Polyline, index: int, width: float, dp_cfg: DPConfig
+    ) -> Dict[int, ShrinkEnvironment]:
+        """Local-frame shrink environments for both pattern directions."""
+        seg = path.segment(index)
+        world_polys = self._world_polygons(path, index, width, dp_cfg)
+        envs: Dict[int, ShrinkEnvironment] = {}
+        for direction in (1, -1):
+            frame = Frame.from_segment(seg, direction)
+            envs[direction] = ShrinkEnvironment(
+                [frame.polygon_to_local(p) for p in world_polys]
+            )
+        return envs
+
+    def _world_polygons(
+        self, path: Polyline, index: int, width: float, dp_cfg: DPConfig
+    ) -> List[Polygon]:
+        seg = path.segment(index)
+        g = dp_cfg.g
+        reach = dp_cfg.h_init + g
+        xmin, ymin, xmax, ymax = seg.bounds()
+        window = (xmin - reach, ymin - reach, xmax + reach, ymax + reach)
+
+        polys: List[Polygon] = [self.area]
+        inflation = max(0.0, self.rules.dobs + width / 2.0 - g)
+        for obstacle in self.obstacles:
+            if _bbox_hits(obstacle.bounds(), window):
+                polys.append(obstacle.inflated(inflation))
+        for other in self.other_traces:
+            half = (other.width + self.rules.dgap) / 2.0
+            for oseg in other.segments():
+                if oseg.is_degenerate():
+                    continue
+                if _bbox_hits(_inflate_bounds(oseg.bounds(), half), window):
+                    polys.append(oriented_rectangle(oseg, half))
+        polys.extend(self._self_polygons(path, index, g, window))
+        return polys
+
+    def _self_polygons(
+        self, path: Polyline, index: int, g: float, window
+    ) -> List[Polygon]:
+        """Clearance hulls of the trace's own other segments.
+
+        Neighbours sharing a node with the extended segment are trimmed by
+        ``2g`` at the shared end; shorter neighbours are dropped entirely
+        (the rollback check covers what the approximation misses).
+        """
+        out: List[Polygon] = []
+        n_segs = len(path.points) - 1
+        for j in range(n_segs):
+            if j == index:
+                continue
+            seg_j = path.segment(j)
+            if seg_j.is_degenerate():
+                continue
+            if j == index - 1:
+                seg_j = _trimmed(seg_j, at_end=True, amount=2.0 * g)
+            elif j == index + 1:
+                seg_j = _trimmed(seg_j, at_end=False, amount=2.0 * g)
+            if seg_j is None:
+                continue
+            if _bbox_hits(_inflate_bounds(seg_j.bounds(), g), window):
+                out.append(oriented_rectangle(seg_j, g))
+        return out
+
+    def _extend_segment(
+        self, path: Polyline, index: int, width: float, need: float
+    ) -> Optional[Tuple[List[Point], List[Pattern]]]:
+        seg = path.segment(index)
+        dp_cfg = self._dp_config(seg, width, need)
+        if dp_cfg is None:
+            return None
+        envs = self._environments(path, index, width, dp_cfg)
+        dp = SegmentDP(dp_cfg, envs)
+        result = dp.run()
+        if result.gain <= self.config.min_extension_gain or not result.patterns:
+            return None
+        patterns = self._trim_to_need(result.patterns, need, envs, dp_cfg)
+        if not patterns:
+            return None
+        frames = {d: Frame.from_segment(seg, d) for d in (1, -1)}
+        chain = patterns_to_chain(seg, patterns, frames)
+        if len(chain) < 3:
+            return None
+        return chain, patterns
+
+    def _trim_to_need(
+        self,
+        patterns: List[Pattern],
+        need: float,
+        envs: Dict[int, ShrinkEnvironment],
+        dp_cfg: DPConfig,
+    ) -> List[Pattern]:
+        """Cut the restored patterns down so the run never overshoots and
+        never strands the trace in the dead zone.
+
+        Two regimes:
+
+        * gain exceeds the need — trim to exactly ``need``;
+        * gain falls short by less than ``2*h_min`` — trim further to
+          leave a residual of exactly ``2*h_min``: a residual below that
+          can never be closed (every pattern gains at least ``2*h_min``),
+          so a slightly larger under-delivery that a later minimal pattern
+          *can* close strictly dominates.
+
+        Heights are re-validated through the shrinker (a smaller height is
+        not automatically valid — Sec. IV-B); when no height trim lands,
+        rightmost patterns are dropped (always safe: every spacing
+        constraint on the remaining patterns is one-sided to their left).
+        """
+        tol = self.config.tolerance
+        patterns = self._trim_total(list(patterns), need, tol, envs, dp_cfg)
+        residual = need - sum(p.gain() for p in patterns)
+        if tol < residual < 2.0 * dp_cfg.h_min:
+            patterns = self._trim_total(
+                patterns, need - 2.0 * dp_cfg.h_min, tol, envs, dp_cfg
+            )
+        if sum(p.gain() for p in patterns) <= self.config.min_extension_gain:
+            return []
+        return patterns
+
+    def _trim_total(
+        self,
+        patterns: List[Pattern],
+        target_total: float,
+        tol: float,
+        envs: Dict[int, ShrinkEnvironment],
+        dp_cfg: DPConfig,
+    ) -> List[Pattern]:
+        """Reduce the pattern set's gain to ``target_total``.
+
+        Order of moves, chosen to land exactly on the target whenever the
+        geometry allows:
+
+        1. drop whole patterns from the right while the remainder still
+           covers the target (drops from the right never break spacing:
+           every constraint on the survivors is one-sided to their left);
+        2. fine-trim the tallest pattern when the excess fits within its
+           headroom — this is the move that produces exact matches;
+        3. otherwise clamp the tallest pattern to ``h_min`` (its full
+           headroom is, by the case split, at most the excess) and loop.
+        """
+        def total() -> float:
+            return sum(p.gain() for p in patterns)
+
+        while patterns and total() - patterns[-1].gain() >= target_total - tol:
+            patterns.pop()
+        guard = 4 * len(patterns) + 8
+        while patterns and total() > target_total + tol and guard > 0:
+            guard -= 1
+            excess = total() - target_total
+            idx = max(range(len(patterns)), key=lambda k: patterns[k].height)
+            p = patterns[idx]
+            headroom = 2.0 * (p.height - dp_cfg.h_min)
+            if headroom <= 1e-12:
+                patterns.pop()
+                continue
+            if excess <= headroom:
+                target_h = p.height - excess / 2.0
+            else:
+                target_h = dp_cfg.h_min
+            h_valid = envs[p.direction].max_pattern_height(
+                p.x_left, p.x_right, dp_cfg.g, target_h, dp_cfg.h_min
+            )
+            if h_valid >= dp_cfg.h_min and h_valid < p.height - 1e-12:
+                patterns[idx] = p.with_height(h_valid)
+            else:
+                patterns.pop()
+        return patterns
+
+    # -- chevron finishing -------------------------------------------------------------
+
+    def _insert_mirrored_chevrons(
+        self, path: Polyline, extra: float, width: float
+    ) -> Optional[Polyline]:
+        """Two identical chevrons on opposite sides, each adding half.
+
+        Identical shapes on mirrored sides contribute equal and opposite
+        offset-skew, so the pair restoration sees none.  Falls back to a
+        single chevron when only one host fits.
+        """
+        first = self._insert_chevron(path, extra / 2.0, width, force_side=1.0)
+        if first is None:
+            return self._insert_chevron(path, extra, width)
+        second = self._insert_chevron(first, extra / 2.0, width, force_side=-1.0)
+        if second is None:
+            return self._insert_chevron(path, extra, width)
+        return second
+
+    def _insert_chevron(
+        self,
+        path: Polyline,
+        extra: float,
+        width: float,
+        force_side: Optional[float] = None,
+    ) -> Optional[Polyline]:
+        """Close a sub-pattern residual with a shallow triangular detour.
+
+        Over base ``b`` the chevron's two legs measure ``(b + extra)/2``
+        each — above ``d_protect`` for any base past ``2 d_protect`` — and
+        the apex deviates by ``sqrt(extra^2 + 2 b extra)/2``.  Hosts are
+        tried longest-first, both bend directions, and every candidate is
+        validated against obstacles, other traces, the routable area and
+        the trace itself before acceptance.
+        """
+        h_min = max(self.rules.dprotect, 1e-6)
+        base = max(2.0 * h_min, 4.0 * extra)
+        height = math.sqrt(extra * extra + 2.0 * base * extra) / 2.0
+        segments = path.segments()
+        order = sorted(range(len(segments)), key=lambda k: -segments[k].length())
+        for idx in order:
+            seg = segments[idx]
+            if seg.length() < base + 2.0 * h_min:
+                continue
+            mid = seg.midpoint()
+            d = seg.direction()
+            a = mid - d * (base / 2.0)
+            b = mid + d * (base / 2.0)
+            sides = (force_side,) if force_side is not None else (1.0, -1.0)
+            for side in sides:
+                apex = mid + d.perpendicular() * (side * height)
+                chain = [seg.a, a, apex, b, seg.b]
+                if not self._chevron_clear(chain, width):
+                    continue
+                candidate = path.replace_segment(idx, chain)
+                if self._conflicts(candidate, idx, len(chain), width):
+                    continue
+                return candidate
+        return None
+
+    def _chevron_clear(self, chain: List[Point], width: float) -> bool:
+        """Obstacle/other-trace/area clearance for a chevron chain."""
+        from ..geometry import Segment as _Segment
+
+        segs = [
+            _Segment(chain[i], chain[i + 1])
+            for i in range(len(chain) - 1)
+            if not chain[i].almost_equals(chain[i + 1], 1e-12)
+        ]
+        for p in chain:
+            if not self.area.contains_point(p):
+                return False
+        for obstacle in self.obstacles:
+            required = self.rules.dobs + width / 2.0
+            for s in segs:
+                if obstacle.polygon.distance_to_segment(s) < required - 1e-9:
+                    return False
+        for other in self.other_traces:
+            required = self.rules.dgap + (width + other.width) / 2.0
+            for os in other.segments():
+                for s in segs:
+                    if s.distance_to_segment(os) < required - 1e-9:
+                        return False
+        return True
+
+    # -- rollback guard ---------------------------------------------------------------
+
+    def _conflicts(
+        self, candidate: Polyline, index: int, chain_len: int, width: float
+    ) -> bool:
+        """Cross-structure d_gap conflicts introduced by the new chain.
+
+        Checks the freshly inserted segments against path segments outside
+        the splice neighbourhood under the parallel-overlap rule, plus
+        containment of the new nodes in the routable area.  This is the
+        guard for the trimmed-neighbour URA approximation.
+        """
+        new_lo = index
+        new_hi = index + chain_len - 2  # segment indices covered by the chain
+        segs = candidate.segments()
+        required = self.rules.dgap + width
+        for k in range(new_lo, min(new_hi + 1, len(segs))):
+            sk = segs[k]
+            for j in range(len(segs)):
+                if new_lo - 1 <= j <= new_hi + 1:
+                    continue
+                if segments_parallel_conflict(sk, segs[j], required):
+                    return True
+        chain_points = candidate.points[new_lo : new_hi + 2]
+        for p in chain_points:
+            if not self.area.contains_point(p):
+                return True
+        return False
+
+
+# -- small helpers ---------------------------------------------------------------------
+
+
+def _bbox_hits(b1, b2) -> bool:
+    return b1[0] <= b2[2] and b2[0] <= b1[2] and b1[1] <= b2[3] and b2[1] <= b1[3]
+
+
+def _inflate_bounds(b, margin: float):
+    return (b[0] - margin, b[1] - margin, b[2] + margin, b[3] + margin)
+
+
+def _trimmed(seg: Segment, at_end: bool, amount: float) -> Optional[Segment]:
+    """Segment shortened by ``amount`` at one end; None when too short."""
+    length = seg.length()
+    if length <= amount + 1e-9:
+        return None
+    d = seg.direction()
+    if at_end:
+        return Segment(seg.a, seg.b - d * amount)
+    return Segment(seg.a + d * amount, seg.b)

@@ -1,0 +1,174 @@
+"""Convex meander patterns.
+
+A *pattern* is the unit of length extension (Sec. IV): a rectangular
+detour perpendicular to a trace segment.  In the segment's local frame a
+pattern with feet at abscissas ``x1 < x2`` and height ``h > 0`` replaces
+the straight run ``(x1,0) -> (x2,0)`` by
+
+    (x1,0) -> (x1,h) -> (x2,h) -> (x2,0)
+
+adding exactly ``2*h`` of length (the top run replaces the same-length
+straight run).  The paper's DP reasons about patterns in discretized foot
+steps; this module holds the continuous geometry, the world-frame
+realisation, and the optional ``d_miter`` corner mitering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+from ..geometry import Frame, Point, Segment
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One convex pattern in a segment's local frame.
+
+    ``direction`` is +1 or -1, recording which side of the segment the
+    pattern extends to (the frame used for realisation already maps the
+    chosen side to +y, so local geometry is always in y >= 0).
+    ``left_index``/``right_index`` are the discretized foot indices the DP
+    chose, kept for bookkeeping and tests.
+    """
+
+    x_left: float
+    x_right: float
+    height: float
+    direction: int
+    left_index: int = -1
+    right_index: int = -1
+
+    def __post_init__(self) -> None:
+        if self.x_right <= self.x_left:
+            raise ValueError("pattern needs x_left < x_right")
+        if self.height <= 0:
+            raise ValueError("pattern height must be positive")
+        if self.direction not in (1, -1):
+            raise ValueError("pattern direction must be +1 or -1")
+
+    # -- measures ----------------------------------------------------------
+
+    def width(self) -> float:
+        """Foot-to-foot span along the segment."""
+        return self.x_right - self.x_left
+
+    def gain(self) -> float:
+        """Length added to the trace: exactly ``2 * height``."""
+        return 2.0 * self.height
+
+    def with_height(self, height: float) -> "Pattern":
+        """The same pattern with a different (re-validated) height."""
+        return replace(self, height=height)
+
+    # -- geometry ------------------------------------------------------------
+
+    def local_points(self) -> List[Point]:
+        """The four pattern nodes in the local (+y) frame, feet included."""
+        return [
+            Point(self.x_left, 0.0),
+            Point(self.x_left, self.height),
+            Point(self.x_right, self.height),
+            Point(self.x_right, 0.0),
+        ]
+
+    def world_points(self, frame: Frame) -> List[Point]:
+        """Pattern nodes mapped through the realising frame."""
+        return frame.points_to_world(self.local_points())
+
+
+def patterns_to_chain(
+    seg: Segment, patterns: Sequence[Pattern], frames: dict
+) -> List[Point]:
+    """Replacement chain for ``seg`` realising ``patterns``.
+
+    ``frames`` maps direction (+1/-1) to the :class:`Frame` of that side.
+    Patterns must be sorted by ``x_left`` and non-overlapping except for
+    shared feet (the plocal connection of Fig. 3(c)); shared feet collapse
+    into a single crossing leg automatically because the duplicate foot
+    point is dropped and the collinear leg pieces merge.
+    """
+    chain: List[Point] = [seg.a]
+    for pattern in patterns:
+        frame = frames[pattern.direction]
+        pts = pattern.world_points(frame)
+        if chain and pts[0].almost_equals(chain[-1], 1e-9):
+            pts = pts[1:]
+        chain.extend(pts)
+    if not chain[-1].almost_equals(seg.b, 1e-9):
+        chain.append(seg.b)
+    return _merge_chain(chain)
+
+
+def _merge_chain(points: List[Point], eps: float = 1e-9) -> List[Point]:
+    """Drop duplicate consecutive points and merge collinear runs."""
+    pts: List[Point] = []
+    for p in points:
+        if pts and p.almost_equals(pts[-1], eps):
+            continue
+        pts.append(p)
+    if len(pts) < 2:
+        return points
+    out: List[Point] = [pts[0]]
+    for i in range(1, len(pts) - 1):
+        a, b, c = out[-1], pts[i], pts[i + 1]
+        cross = (b - a).cross(c - b)
+        # Collinearity scaled to the local segment lengths.
+        scale = max(1.0, (b - a).norm() * (c - b).norm())
+        if abs(cross) <= eps * scale:
+            # Only merge when b lies *between* a and c (forward run);
+            # a fold-back (plocal crossing leg) keeps the point so the
+            # direction reversal is preserved... a straight crossing leg is
+            # still collinear and must merge, so test the dot product.
+            if (b - a).dot(c - b) > 0:
+                continue
+        out.append(b)
+    out.append(pts[-1])
+    return out
+
+
+def miter_pattern_corners(points: List[Point], dmiter: float) -> List[Point]:
+    """Cut right-angle corners with 45-degree miters of size ``d_miter``.
+
+    The paper evaluates with right-angle corners ("for digestibility") but
+    the DRC defines ``d_miter``: any right/acute rotation is mitered by
+    obtuse angles.  Each interior corner with both incident segments longer
+    than ``2*d_miter`` is replaced by two points ``d_miter`` away along the
+    incident segments.  Corner cutting removes ``(2 - sqrt(2)) * d_miter``
+    of length per corner; callers that miter *before* measuring simply see
+    the shorter length (the router's optional post-pass re-tunes).
+    """
+    if dmiter <= 0 or len(points) < 3:
+        return list(points)
+    out: List[Point] = [points[0]]
+    for i in range(1, len(points) - 1):
+        prev_pt, cur, nxt = points[i - 1], points[i], points[i + 1]
+        v1 = cur - prev_pt
+        v2 = nxt - cur
+        l1, l2 = v1.norm(), v2.norm()
+        if l1 <= 2 * dmiter or l2 <= 2 * dmiter:
+            out.append(cur)
+            continue
+        cos_turn = v1.dot(v2) / (l1 * l2)
+        # Only right or acute rotations (interior angle <= 90deg) are cut.
+        if cos_turn > 1e-9:
+            out.append(cur)
+            continue
+        out.append(cur - v1 * (dmiter / l1))
+        out.append(cur + v2 * (dmiter / l2))
+    out.append(points[-1])
+    return out
+
+
+def chain_new_segments(chain: Sequence[Point]) -> List[Segment]:
+    """The segments a replacement chain contributes to the trace.
+
+    These are what Alg. 1 pushes back onto the queue ("push the new
+    segments replacing seg into Q") so later iterations can meander on the
+    meanders (Fig. 5's rationale for preferring connected patterns).
+    """
+    return [
+        Segment(chain[i], chain[i + 1])
+        for i in range(len(chain) - 1)
+        if not chain[i].almost_equals(chain[i + 1], 1e-12)
+    ]

@@ -1,0 +1,31 @@
+"""Design-rule checking engine."""
+
+from .violations import DrcReport, Violation, ViolationKind
+from .checker import (
+    SLACK,
+    segments_parallel_conflict,
+    check_board,
+    check_containment,
+    check_endpoints_preserved,
+    check_obstacle_clearance,
+    check_pair_coupling,
+    check_segment_lengths,
+    check_self_clearance,
+    check_trace_pair_clearance,
+)
+
+__all__ = [
+    "DrcReport",
+    "Violation",
+    "ViolationKind",
+    "SLACK",
+    "segments_parallel_conflict",
+    "check_board",
+    "check_containment",
+    "check_endpoints_preserved",
+    "check_obstacle_clearance",
+    "check_pair_coupling",
+    "check_segment_lengths",
+    "check_self_clearance",
+    "check_trace_pair_clearance",
+]

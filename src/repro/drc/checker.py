@@ -1,0 +1,315 @@
+"""Design-rule checking.
+
+The checker is the library's ground-truth oracle: the router's unit and
+integration tests assert that every meandered result passes these checks,
+and the extension loop re-validates applied patterns against them
+(rollback on failure keeps the adjacent-URA approximation honest; see
+DESIGN.md).
+
+All clearances are *edge-to-edge*: a centreline measurement passes when it
+exceeds the rule plus the relevant copper half-widths.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional
+
+from ..geometry import Point, Polygon, polyline_inside_polygon
+from ..model import Board, DesignRules, DifferentialPair, Obstacle, Trace
+from .violations import DrcReport, Violation, ViolationKind
+
+#: Numerical slack: measurements may sit exactly on the rule, so a tiny
+#: tolerance keeps exact-by-construction geometry from being flagged.
+SLACK = 1e-6
+
+
+def check_segment_lengths(
+    trace: Trace, rules: DesignRules, report: Optional[DrcReport] = None
+) -> DrcReport:
+    """Flag segments shorter than ``d_protect``.
+
+    Zero-length segments are collapsed by ``Polyline.simplified`` before
+    routing, so any remaining short segment is a real rule breach — except
+    miter cuts: when ``d_miter`` is configured, the diagonal segments it
+    introduces measure ``sqrt(2) * d_miter`` and are exempt by definition
+    (the rule exists precisely to create them).
+    """
+    report = report if report is not None else DrcReport()
+    miter_cut = math.sqrt(2.0) * rules.dmiter if rules.dmiter > 0 else 0.0
+    for i, seg in enumerate(trace.segments()):
+        length = seg.length()
+        if miter_cut > 0 and length <= miter_cut * 1.01 + SLACK:
+            continue
+        if length < rules.dprotect - SLACK:
+            report.add(
+                Violation(
+                    kind=ViolationKind.SHORT_SEGMENT,
+                    subject=trace.name,
+                    detail=f"segment {i} shorter than d_protect",
+                    location=seg.midpoint(),
+                    measured=length,
+                    required=rules.dprotect,
+                )
+            )
+    return report
+
+
+def segments_parallel_conflict(
+    a, b, required: float, angle_tol: float = 0.35
+) -> bool:
+    """Same-trace d_gap semantics: parallel, overlapping, and too close.
+
+    Crosstalk/self-inductance — what d_gap protects against within one net
+    (Sec. II) — needs a *parallel coupled run*.  The meander's own
+    structure routinely places perpendicular elements closer than d_gap
+    (the two legs of a pattern are d_protect apart; the legs of two
+    opposite-side patterns meet the axis d_protect apart, exactly the
+    p_protect transition of Fig. 3(b)), and the paper's DP explicitly
+    allows this.  A pair of segments is therefore a violation only when
+
+    * their directions agree within ``angle_tol`` radians (near-parallel),
+    * their mutual projections overlap over a positive length, and
+    * their distance is below ``required``.
+    """
+    da = a.vector()
+    db = b.vector()
+    la, lb = da.norm(), db.norm()
+    if la <= SLACK or lb <= SLACK:
+        return False
+    cos_angle = abs(da.dot(db)) / (la * lb)
+    if cos_angle < math.cos(angle_tol):
+        return False
+    # Overlap of b's projection onto a's axis.
+    ta0 = (b.a - a.a).dot(da) / (la * la)
+    ta1 = (b.b - a.a).dot(da) / (la * la)
+    lo, hi = min(ta0, ta1), max(ta0, ta1)
+    overlap = (min(hi, 1.0) - max(lo, 0.0)) * la
+    if overlap <= SLACK:
+        return False
+    return a.distance_to_segment(b) < required - SLACK
+
+
+def check_self_clearance(
+    trace: Trace,
+    rules: DesignRules,
+    report: Optional[DrcReport] = None,
+    required: Optional[float] = None,
+) -> DrcReport:
+    """Flag parallel overlapping runs of one trace closer than the
+    same-net spacing floor.
+
+    Same-net spacing in the paper is *structural*: legs of one pattern may
+    be ``d_protect`` apart (pattern width runs from ``d_protect`` up, Alg. 1
+    line 8), opposite-side patterns meet the axis ``d_protect`` apart
+    (Fig. 3(b)), while same-side patterns keep ``d_gap`` (Fig. 3(a)) —
+    which the DP enforces by construction.  Local geometry cannot tell a
+    pattern top from an inter-pattern stub (the shapes are congruent), so
+    the post-hoc oracle checks the one floor that every legal structure
+    obeys: parallel overlapping centrelines at least ``d_protect`` apart
+    (``required`` overrides for callers that know more context, e.g. the
+    extension rollback guard checking *cross-structure* pairs at d_gap).
+    """
+    report = report if report is not None else DrcReport()
+    segs = trace.segments()
+    floor = required if required is not None else max(rules.dprotect, trace.width)
+    n = len(segs)
+    for i in range(n):
+        for j in range(i + 2, n):
+            if segments_parallel_conflict(segs[i], segs[j], floor):
+                report.add(
+                    Violation(
+                        kind=ViolationKind.SELF_CLEARANCE,
+                        subject=trace.name,
+                        detail=f"segments {i} and {j} too close",
+                        location=segs[i].midpoint(),
+                        measured=segs[i].distance_to_segment(segs[j]),
+                        required=floor,
+                    )
+                )
+    return report
+
+
+def check_trace_pair_clearance(
+    a: Trace, b: Trace, rules: DesignRules, report: Optional[DrcReport] = None
+) -> DrcReport:
+    """Flag two different traces closer than ``d_gap`` edge-to-edge."""
+    report = report if report is not None else DrcReport()
+    required = rules.dgap + a.width / 2.0 + b.width / 2.0
+    best = math.inf
+    where: Optional[Point] = None
+    for sa in a.segments():
+        for sb in b.segments():
+            d = sa.distance_to_segment(sb)
+            if d < best:
+                best = d
+                where = sa.midpoint()
+    if best < required - SLACK:
+        report.add(
+            Violation(
+                kind=ViolationKind.TRACE_CLEARANCE,
+                subject=f"{a.name}/{b.name}",
+                detail="trace-to-trace clearance below d_gap",
+                location=where,
+                measured=best,
+                required=required,
+            )
+        )
+    return report
+
+
+def check_obstacle_clearance(
+    trace: Trace,
+    obstacles: Iterable[Obstacle],
+    rules: DesignRules,
+    report: Optional[DrcReport] = None,
+) -> DrcReport:
+    """Flag copper closer than ``d_obs`` to any obstacle."""
+    report = report if report is not None else DrcReport()
+    required = rules.dobs + trace.width / 2.0
+    for obstacle in obstacles:
+        best = math.inf
+        where: Optional[Point] = None
+        for seg in trace.segments():
+            d = obstacle.polygon.distance_to_segment(seg)
+            if d < best:
+                best = d
+                where = seg.midpoint()
+            if best == 0.0:
+                break
+        if best < required - SLACK:
+            report.add(
+                Violation(
+                    kind=ViolationKind.OBSTACLE_CLEARANCE,
+                    subject=trace.name,
+                    detail=f"too close to obstacle '{obstacle.name or obstacle.kind}'",
+                    location=where,
+                    measured=best,
+                    required=required,
+                )
+            )
+    return report
+
+
+def check_containment(
+    trace: Trace,
+    area: Polygon,
+    report: Optional[DrcReport] = None,
+) -> DrcReport:
+    """Flag a trace leaving its routable area."""
+    report = report if report is not None else DrcReport()
+    if not polyline_inside_polygon(trace.path, area):
+        report.add(
+            Violation(
+                kind=ViolationKind.OUTSIDE_AREA,
+                subject=trace.name,
+                detail="trace leaves its routable area",
+            )
+        )
+    return report
+
+
+def check_endpoints_preserved(
+    before: Trace, after: Trace, report: Optional[DrcReport] = None
+) -> DrcReport:
+    """Flag meandering that moved a trace endpoint (pin)."""
+    report = report if report is not None else DrcReport()
+    if not before.endpoints_match(after):
+        report.add(
+            Violation(
+                kind=ViolationKind.ENDPOINT_MOVED,
+                subject=after.name,
+                detail="meandering moved an endpoint",
+            )
+        )
+    return report
+
+
+def check_pair_coupling(
+    pair: DifferentialPair,
+    max_deviation: float,
+    samples: int = 64,
+    report: Optional[DrcReport] = None,
+) -> DrcReport:
+    """Flag a differential pair whose gap deviates beyond ``max_deviation``.
+
+    The paper accepts imperfect coupling (Fig. 10) — the threshold is a
+    policy knob, not a hard rule; restoration tests use the tight value
+    implied by the virtual DRC.
+    """
+    report = report if report is not None else DrcReport()
+    deviation = pair.max_decoupling(samples)
+    if deviation > max_deviation + SLACK:
+        report.add(
+            Violation(
+                kind=ViolationKind.PAIR_DECOUPLED,
+                subject=pair.name,
+                detail="pair gap deviates from nominal",
+                measured=deviation,
+                required=max_deviation,
+            )
+        )
+    return report
+
+
+def check_board(board: Board, check_areas: bool = True) -> DrcReport:
+    """Full-board DRC: every trace against every rule it is subject to.
+
+    Rule resolution is per-trace via the most conservative DRA combination
+    along its path (see ``RuleSet.rules_for_points``).  Differential-pair
+    sub-traces are exempt from the ``d_protect`` segment-length rule: real
+    pairs legally carry tiny compensation patterns and split corner nodes
+    (Sec. V-A: such pairs "can still be legal in DRC and retained
+    directly"), and intra-pair spacing is governed by the pair rule.
+    """
+    report = DrcReport()
+    all_traces: List[Trace] = list(board.traces)
+    pair_sub_names = set()
+    for pair in board.pairs:
+        all_traces.extend((pair.trace_p, pair.trace_n))
+        pair_sub_names.update((pair.trace_p.name, pair.trace_n.name))
+
+    per_trace_rules = {
+        t.name: board.rules.rules_for_points(t.path.points) for t in all_traces
+    }
+
+    for trace in all_traces:
+        rules = per_trace_rules[trace.name]
+        if trace.name not in pair_sub_names:
+            check_segment_lengths(trace, rules, report)
+            check_self_clearance(trace, rules, report)
+        else:
+            # Within a pair the structural floor is the tiny-pattern scale,
+            # not d_protect (tiny patterns are narrower by design).
+            check_self_clearance(trace, rules, report, required=trace.width)
+        check_obstacle_clearance(trace, board.obstacles, rules, report)
+        if check_areas:
+            area = board.routable_areas.get(trace.name)
+            if area is not None:
+                check_containment(trace, area, report)
+
+    pair_members = {
+        id(t) for p in board.pairs for t in (p.trace_p, p.trace_n)
+    }
+    for i in range(len(all_traces)):
+        for j in range(i + 1, len(all_traces)):
+            a, b = all_traces[i], all_traces[j]
+            if _same_pair(board, a, b):
+                continue  # intra-pair spacing is the pair rule, not d_gap
+            rules = DesignRules(
+                dgap=max(per_trace_rules[a.name].dgap, per_trace_rules[b.name].dgap),
+                dobs=max(per_trace_rules[a.name].dobs, per_trace_rules[b.name].dobs),
+                dprotect=max(
+                    per_trace_rules[a.name].dprotect, per_trace_rules[b.name].dprotect
+                ),
+            )
+            check_trace_pair_clearance(a, b, rules, report)
+    return report
+
+
+def _same_pair(board: Board, a: Trace, b: Trace) -> bool:
+    for pair in board.pairs:
+        names = {pair.trace_p.name, pair.trace_n.name}
+        if a.name in names and b.name in names:
+            return True
+    return False

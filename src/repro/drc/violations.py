@@ -1,0 +1,75 @@
+"""Violation records produced by the DRC checker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from ..geometry import Point
+
+
+class ViolationKind(Enum):
+    """The rule classes of Fig. 1 plus structural checks."""
+
+    TRACE_CLEARANCE = "trace_clearance"      # d_gap between different traces
+    SELF_CLEARANCE = "self_clearance"        # d_gap within one meandered trace
+    OBSTACLE_CLEARANCE = "obstacle_clearance"  # d_obs to an obstacle
+    SHORT_SEGMENT = "short_segment"          # d_protect minimum segment length
+    OUTSIDE_AREA = "outside_area"            # escaped the routable area
+    ENDPOINT_MOVED = "endpoint_moved"        # meandering displaced a pin
+    PAIR_DECOUPLED = "pair_decoupled"        # differential gap off nominal
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One DRC finding: what rule, where, by how much."""
+
+    kind: ViolationKind
+    subject: str
+    detail: str
+    location: Optional[Point] = None
+    measured: Optional[float] = None
+    required: Optional[float] = None
+
+    def margin(self) -> Optional[float]:
+        """How far past the rule the measurement is (negative = passing)."""
+        if self.measured is None or self.required is None:
+            return None
+        return self.required - self.measured
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        loc = f" @({self.location.x:.3f},{self.location.y:.3f})" if self.location else ""
+        meas = (
+            f" measured={self.measured:.4f} required={self.required:.4f}"
+            if self.measured is not None and self.required is not None
+            else ""
+        )
+        return f"[{self.kind.value}] {self.subject}: {self.detail}{loc}{meas}"
+
+
+@dataclass
+class DrcReport:
+    """All violations found by one checker run."""
+
+    violations: List[Violation] = field(default_factory=list)
+
+    def add(self, violation: Violation) -> None:
+        self.violations.append(violation)
+
+    def extend(self, other: "DrcReport") -> None:
+        self.violations.extend(other.violations)
+
+    def is_clean(self) -> bool:
+        return not self.violations
+
+    def of_kind(self, kind: ViolationKind) -> List[Violation]:
+        return [v for v in self.violations if v.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_clean():
+            return "DRC clean"
+        return "\n".join(str(v) for v in self.violations)

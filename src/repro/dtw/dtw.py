@@ -1,0 +1,74 @@
+"""Dynamic Time Warping over trace nodes — Sec. V-A, Eq. (17).
+
+MSDTW matches the *nodes* of a differential pair's sub-traces instead of
+parallel-checking their segments: node positions are robust against the
+short-segment and tiny-pattern artefacts of real designs (Fig. 10).  The
+classic DTW recurrence gives the minimum-cost monotone matching in which
+every node of both sequences is matched and several nodes may share a
+partner — exactly what uneven node counts need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..geometry import Point
+
+
+@dataclass(frozen=True)
+class MatchedPair:
+    """One DTW match: node ``i`` of trace P with node ``j`` of trace N."""
+
+    i: int
+    j: int
+    cost: float
+
+
+def dtw_match(
+    nodes_p: Sequence[Point], nodes_q: Sequence[Point]
+) -> Tuple[List[MatchedPair], float]:
+    """Optimal monotone node matching and its total cost.
+
+    ``C[i][j]`` is the minimum cost of matching the first ``i`` nodes of P
+    with the first ``j`` of N; transitions come from ``C[i-1][j]``,
+    ``C[i][j-1]`` and ``C[i-1][j-1]`` plus the pair distance ``d(i, j)``
+    (Eq. 17).  The matched pairs are restored by backtracking from
+    ``C[I][J]``; every node appears in at least one pair.
+    """
+    I, J = len(nodes_p), len(nodes_q)
+    if I == 0 or J == 0:
+        return [], 0.0
+    INF = float("inf")
+    # C[i][j] over 1-based sizes; C[0][0] = 0, first row/col unreachable
+    # except through the corner (DTW boundary condition).
+    C = [[INF] * (J + 1) for _ in range(I + 1)]
+    C[0][0] = 0.0
+    dist = [
+        [nodes_p[i].distance_to(nodes_q[j]) for j in range(J)] for i in range(I)
+    ]
+    for i in range(1, I + 1):
+        row = C[i]
+        prev = C[i - 1]
+        drow = dist[i - 1]
+        for j in range(1, J + 1):
+            best = prev[j - 1]
+            if prev[j] < best:
+                best = prev[j]
+            if row[j - 1] < best:
+                best = row[j - 1]
+            if best < INF:
+                row[j] = best + drow[j - 1]
+    # Backtrack from C[I][J] to C[0][0].
+    pairs: List[MatchedPair] = []
+    i, j = I, J
+    while i > 0 and j > 0:
+        pairs.append(MatchedPair(i - 1, j - 1, dist[i - 1][j - 1]))
+        candidates = (
+            (C[i - 1][j - 1], i - 1, j - 1),
+            (C[i - 1][j], i - 1, j),
+            (C[i][j - 1], i, j - 1),
+        )
+        _, i, j = min(candidates, key=lambda t: t[0])
+    pairs.reverse()
+    return pairs, C[I][J]

@@ -1,0 +1,249 @@
+"""Composite geometric operations.
+
+Hosts the algorithms that combine the primitive classes: polyline
+offsetting (differential-pair restoration), clearance computations between
+polylines (DRC), and rectilinear cell-union boundary extraction (routable
+areas built from region-assignment cells).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .polygon import Polygon
+from .polyline import Polyline
+from .primitives import EPS, Point
+from .segment import Segment
+
+
+def offset_polyline(line: Polyline, distance: float) -> Polyline:
+    """Parallel curve of ``line`` at signed ``distance``.
+
+    Positive distance offsets to the *left* of the direction of travel.
+    Joints are mitered (offset lines intersected), matching how a
+    differential pair straddles its median trace; near-straight joints fall
+    back to the plain normal offset to avoid ill-conditioned intersections.
+    """
+    if abs(distance) <= EPS:
+        return line
+    pts = line.points
+    n = len(pts)
+    out: List[Point] = []
+    normals = []
+    for i in range(n - 1):
+        seg = Segment(pts[i], pts[i + 1])
+        if seg.is_degenerate():
+            normals.append(normals[-1] if normals else Point(0.0, 1.0))
+        else:
+            normals.append(seg.normal())
+    out.append(pts[0] + normals[0] * distance)
+    for i in range(1, n - 1):
+        n1, n2 = normals[i - 1], normals[i]
+        bisector = n1 + n2
+        bl = bisector.norm()
+        if bl <= EPS:
+            # U-turn: cannot miter; insert both square offsets.
+            out.append(pts[i] + n1 * distance)
+            out.append(pts[i] + n2 * distance)
+            continue
+        bisector = bisector / bl
+        cos_half = bisector.dot(n1)
+        if cos_half <= 0.05:
+            out.append(pts[i] + n1 * distance)
+            out.append(pts[i] + n2 * distance)
+            continue
+        out.append(pts[i] + bisector * (distance / cos_half))
+    out.append(pts[-1] + normals[-1] * distance)
+    return Polyline(out)
+
+
+def polyline_min_clearance(
+    a: Polyline, b: Polyline
+) -> float:
+    """Minimum distance between two polylines (centreline to centreline)."""
+    best = math.inf
+    for sa in a.segments():
+        for sb in b.segments():
+            d = sa.distance_to_segment(sb)
+            if d < best:
+                best = d
+                if best == 0.0:
+                    return 0.0
+    return best
+
+
+def polyline_self_clearance(
+    line: Polyline, skip_adjacent: int = 1
+) -> float:
+    """Minimum distance between non-adjacent segments of one polyline.
+
+    ``skip_adjacent`` is the number of neighbouring segments on each side
+    exempt from the check (adjacent segments share a node, so their mutual
+    distance is always 0 and is not a violation).  This is the self-DRC
+    oracle for meandered traces.
+    """
+    segs = line.segments()
+    best = math.inf
+    n = len(segs)
+    for i in range(n):
+        for j in range(i + skip_adjacent + 1, n):
+            d = segs[i].distance_to_segment(segs[j])
+            if d < best:
+                best = d
+    return best
+
+
+def polyline_to_polygon_clearance(line: Polyline, poly: Polygon) -> float:
+    """Minimum distance between a polyline and a polygon (0 on overlap)."""
+    best = math.inf
+    for seg in line.segments():
+        d = poly.distance_to_segment(seg)
+        if d < best:
+            best = d
+            if best == 0.0:
+                return 0.0
+    return best
+
+
+def polyline_inside_polygon(line: Polyline, poly: Polygon, eps: float = EPS) -> bool:
+    """True when the whole polyline lies inside ``poly``.
+
+    Checks every node for containment and every segment against boundary
+    crossings, which is exact for simple polygons.
+    """
+    if any(not poly.contains_point(p, eps) for p in line.points):
+        return False
+    for seg in line.segments():
+        for edge in poly.edges():
+            inter = edge.intersection(seg, eps)
+            if inter is None:
+                continue
+            # Touching the boundary is fine; crossing it is not.  Probe a
+            # point slightly inside each half of the segment.
+            for t in (0.25, 0.5, 0.75):
+                probe = seg.point_at(t)
+                if not poly.contains_point(probe, eps):
+                    return False
+    return True
+
+
+# -- rectilinear cell unions ----------------------------------------------------
+
+
+def cells_union_boundary(
+    cells: Iterable[Tuple[float, float, float, float]]
+) -> List[Polygon]:
+    """Boundary polygons of a union of axis-aligned rectangles.
+
+    The rectangles must be non-overlapping (region-assignment cells are).
+    Every edge is pre-split at the global cut coordinates so partially
+    overlapping boundaries of unequal cells cancel exactly; the union
+    boundary is then found by cancelling shared directed edges and walking
+    the survivors (outer boundaries CCW, holes CW).
+    """
+    cell_list = list(cells)
+    edge_count: Dict[Tuple[Tuple[float, float], Tuple[float, float]], int] = {}
+
+    def key(x: float, y: float) -> Tuple[float, float]:
+        return (round(x, 9), round(y, 9))
+
+    xs = sorted({key(c[0], 0)[0] for c in cell_list} | {key(c[2], 0)[0] for c in cell_list})
+    ys = sorted({key(0, c[1])[1] for c in cell_list} | {key(0, c[3])[1] for c in cell_list})
+
+    def add_edge(a: Tuple[float, float], b: Tuple[float, float]) -> None:
+        if (b, a) in edge_count:
+            edge_count[(b, a)] -= 1
+            if edge_count[(b, a)] == 0:
+                del edge_count[(b, a)]
+        else:
+            edge_count[(a, b)] = edge_count.get((a, b), 0) + 1
+
+    def add_split(a: Tuple[float, float], b: Tuple[float, float]) -> None:
+        """Add edge a->b split at every global cut it spans."""
+        if a[1] == b[1]:  # horizontal
+            cuts = [x for x in xs if min(a[0], b[0]) < x < max(a[0], b[0])]
+            stops = sorted({a[0], b[0], *cuts}, reverse=a[0] > b[0])
+            for u, v in zip(stops, stops[1:]):
+                add_edge((u, a[1]), (v, a[1]))
+        else:  # vertical
+            cuts = [y for y in ys if min(a[1], b[1]) < y < max(a[1], b[1])]
+            stops = sorted({a[1], b[1], *cuts}, reverse=a[1] > b[1])
+            for u, v in zip(stops, stops[1:]):
+                add_edge((a[0], u), (a[0], v))
+
+    for (xmin, ymin, xmax, ymax) in cell_list:
+        a, b = key(xmin, ymin), key(xmax, ymin)
+        c, d = key(xmax, ymax), key(xmin, ymax)
+        # CCW winding for every cell.
+        add_split(a, b)
+        add_split(b, c)
+        add_split(c, d)
+        add_split(d, a)
+
+    # Split collinear boundary edges at shared nodes so the walks close.
+    outgoing: Dict[Tuple[float, float], List[Tuple[float, float]]] = {}
+    for (a, b), cnt in edge_count.items():
+        for _ in range(cnt):
+            outgoing.setdefault(a, []).append(b)
+
+    polygons: List[Polygon] = []
+    while outgoing:
+        start = min(outgoing)
+        walk = [start]
+        cur = start
+        prev_dir: Optional[Tuple[float, float]] = None
+        while True:
+            nxts = outgoing.get(cur)
+            if not nxts:
+                break
+            if prev_dir is None:
+                nxt = nxts.pop()
+            else:
+                # Prefer the left-most turn so holes separate from shells.
+                def turn_key(candidate: Tuple[float, float]) -> float:
+                    dx, dy = candidate[0] - cur[0], candidate[1] - cur[1]
+                    ang = math.atan2(dy, dx)
+                    prev_ang = math.atan2(prev_dir[1], prev_dir[0])
+                    rel = (ang - prev_ang + math.pi) % (2 * math.pi)
+                    return rel
+
+                nxts.sort(key=turn_key)
+                nxt = nxts.pop()
+            if not outgoing[cur]:
+                del outgoing[cur]
+            prev_dir = (nxt[0] - cur[0], nxt[1] - cur[1])
+            cur = nxt
+            if cur == start:
+                break
+            walk.append(cur)
+        if len(walk) >= 3:
+            poly = Polygon(Point(x, y) for x, y in walk)
+            polygons.append(_merge_collinear(poly))
+    return polygons
+
+
+def _merge_collinear(poly: Polygon, eps: float = EPS) -> Polygon:
+    """Remove boundary nodes collinear with both neighbours."""
+    pts = list(poly.points)
+    out: List[Point] = []
+    n = len(pts)
+    for i in range(n):
+        a = pts[(i - 1) % n]
+        b = pts[i]
+        c = pts[(i + 1) % n]
+        cross = (b - a).cross(c - b)
+        if abs(cross) > eps:
+            out.append(b)
+    if len(out) < 3:
+        return poly
+    return Polygon(out)
+
+
+def resample_polyline(line: Polyline, step: float) -> List[Point]:
+    """Points along ``line`` every ``step`` of arc length, including ends."""
+    if step <= 0:
+        raise ValueError("step must be positive")
+    total = line.length()
+    count = max(1, int(math.ceil(total / step)))
+    return [line.point_at_arclength(total * i / count) for i in range(count + 1)]

@@ -1,0 +1,160 @@
+"""Polylines — the geometric body of a PCB trace.
+
+A :class:`Polyline` is an ordered chain of points.  Trace meandering works
+by replacing one segment of a polyline with a longer chain (the pattern),
+so the class is immutable and every mutation returns a new polyline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from .primitives import EPS, Point, orientation
+from .segment import Segment
+
+
+@dataclass(frozen=True)
+class Polyline:
+    """An immutable open chain of 2-D points."""
+
+    points: Tuple[Point, ...]
+
+    def __init__(self, points: Iterable[Point]):
+        pts = tuple(points)
+        if len(pts) < 2:
+            raise ValueError("a polyline needs at least two points")
+        object.__setattr__(self, "points", pts)
+
+    # -- structure -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def segments(self) -> List[Segment]:
+        """The chain as a list of consecutive segments."""
+        return [
+            Segment(self.points[i], self.points[i + 1])
+            for i in range(len(self.points) - 1)
+        ]
+
+    def segment(self, index: int) -> Segment:
+        """The ``index``-th segment of the chain."""
+        return Segment(self.points[index], self.points[index + 1])
+
+    @property
+    def start(self) -> Point:
+        return self.points[0]
+
+    @property
+    def end(self) -> Point:
+        return self.points[-1]
+
+    def reversed(self) -> "Polyline":
+        """The chain traversed end to start."""
+        return Polyline(reversed(self.points))
+
+    # -- measures --------------------------------------------------------------
+
+    def length(self) -> float:
+        """Total arc length (the paper's ``l_trace``)."""
+        return sum(
+            self.points[i].distance_to(self.points[i + 1])
+            for i in range(len(self.points) - 1)
+        )
+
+    def bounds(self) -> Tuple[float, float, float, float]:
+        """Axis-aligned bounding box (xmin, ymin, xmax, ymax)."""
+        xs = [p.x for p in self.points]
+        ys = [p.y for p in self.points]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def point_at_arclength(self, s: float) -> Point:
+        """Point at arc length ``s`` from the start (clamped to the ends)."""
+        if s <= 0:
+            return self.start
+        remaining = s
+        for seg in self.segments():
+            seg_len = seg.length()
+            if remaining <= seg_len:
+                if seg_len <= EPS:
+                    return seg.a
+                return seg.point_at(remaining / seg_len)
+            remaining -= seg_len
+        return self.end
+
+    # -- edits -------------------------------------------------------------------
+
+    def replace_segment(self, index: int, chain: Sequence[Point]) -> "Polyline":
+        """Replace segment ``index`` by the chain of points.
+
+        ``chain`` must start at the segment's first endpoint and finish at
+        its second endpoint; this is how patterns are spliced into a trace.
+        """
+        seg = self.segment(index)
+        chain = list(chain)
+        if not chain or not chain[0].almost_equals(seg.a, 1e-6):
+            raise ValueError("replacement chain must start at the segment start")
+        if not chain[-1].almost_equals(seg.b, 1e-6):
+            raise ValueError("replacement chain must end at the segment end")
+        new_points = (
+            list(self.points[: index + 1]) + chain[1:-1] + list(self.points[index + 1 :])
+        )
+        return Polyline(new_points)
+
+    def translated(self, delta: Point) -> "Polyline":
+        """The polyline rigidly shifted by ``delta``."""
+        return Polyline(p + delta for p in self.points)
+
+    def simplified(self, eps: float = EPS) -> "Polyline":
+        """Merge collinear runs and drop repeated points.
+
+        Keeps the endpoints.  Collinearity uses the shared orientation
+        tolerance so hairline kinks from float noise disappear but real
+        pattern corners are preserved.
+        """
+        pts: List[Point] = [self.points[0]]
+        for p in self.points[1:]:
+            if p.almost_equals(pts[-1], eps):
+                continue
+            pts.append(p)
+        if len(pts) < 2:
+            # All points coincided; keep a degenerate two-point chain at the
+            # original endpoints so the caller still has a valid polyline.
+            return Polyline([self.points[0], self.points[-1]])
+        # Remove interior points collinear with both neighbours.
+        cleaned: List[Point] = [pts[0]]
+        for i in range(1, len(pts) - 1):
+            if orientation(cleaned[-1], pts[i], pts[i + 1], eps) != 0:
+                cleaned.append(pts[i])
+        cleaned.append(pts[-1])
+        return Polyline(cleaned)
+
+    def node_angles(self) -> List[float]:
+        """Interior angle at each internal node, in radians.
+
+        Used by DRC to validate mitering rules (any rotation must be obtuse
+        once mitered).
+        """
+        import math
+
+        angles: List[float] = []
+        for i in range(1, len(self.points) - 1):
+            v1 = self.points[i - 1] - self.points[i]
+            v2 = self.points[i + 1] - self.points[i]
+            n1, n2 = v1.norm(), v2.norm()
+            if n1 <= EPS or n2 <= EPS:
+                angles.append(math.pi)
+                continue
+            c = max(-1.0, min(1.0, v1.dot(v2) / (n1 * n2)))
+            angles.append(math.acos(c))
+        return angles
+
+    def min_segment_length(self) -> float:
+        """Length of the shortest segment; the quantity ``d_protect`` bounds."""
+        return min(seg.length() for seg in self.segments())
+
+
+def polyline_from_pairs(pairs: Iterable[Tuple[float, float]]) -> Polyline:
+    """Convenience constructor from (x, y) tuples."""
+    return Polyline(Point(x, y) for x, y in pairs)

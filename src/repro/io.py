@@ -1,0 +1,216 @@
+"""Board serialization — JSON round-trip for layouts and results.
+
+A downstream tool needs to get layouts in and results out; this module
+(de)serialises the full :class:`~repro.model.Board`: outline, rule set
+with DRAs, traces, differential pairs, obstacles, matching groups and
+routable areas.  The format is a versioned, human-readable JSON document;
+geometry is stored as plain coordinate lists.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .geometry import Point, Polygon, Polyline
+from .model import (
+    Board,
+    DesignRuleArea,
+    DesignRules,
+    DifferentialPair,
+    MatchGroup,
+    Obstacle,
+    RuleSet,
+    Trace,
+)
+
+FORMAT_VERSION = 1
+
+
+# -- encoding ---------------------------------------------------------------------
+
+
+def _points(points) -> List[List[float]]:
+    return [[p.x, p.y] for p in points]
+
+
+def _rules_dict(rules: DesignRules) -> Dict[str, float]:
+    return {
+        "dgap": rules.dgap,
+        "dobs": rules.dobs,
+        "dprotect": rules.dprotect,
+        "dmiter": rules.dmiter,
+    }
+
+
+def _trace_dict(trace: Trace) -> Dict[str, Any]:
+    return {
+        "name": trace.name,
+        "width": trace.width,
+        "net": trace.net,
+        "path": _points(trace.path.points),
+    }
+
+
+def board_to_dict(board: Board) -> Dict[str, Any]:
+    """The board as a JSON-serialisable dictionary."""
+    return {
+        "version": FORMAT_VERSION,
+        "outline": _points(board.outline.points),
+        "rules": {
+            "default": _rules_dict(board.rules.default),
+            "areas": [
+                {
+                    "name": area.name,
+                    "region": _points(area.region.points),
+                    "rules": _rules_dict(area.rules),
+                }
+                for area in board.rules.areas
+            ],
+        },
+        "traces": [_trace_dict(t) for t in board.traces],
+        "pairs": [
+            {
+                "name": p.name,
+                "rule": p.rule,
+                "extra_rules": list(p.extra_rules),
+                "trace_p": _trace_dict(p.trace_p),
+                "trace_n": _trace_dict(p.trace_n),
+            }
+            for p in board.pairs
+        ],
+        "obstacles": [
+            {
+                "name": o.name,
+                "kind": o.kind,
+                "polygon": _points(o.polygon.points),
+            }
+            for o in board.obstacles
+        ],
+        "groups": [
+            {
+                "name": g.name,
+                "members": [m.name for m in g.members],
+                "target_length": g.target_length,
+                "tolerance": g.tolerance,
+            }
+            for g in board.groups
+        ],
+        "routable_areas": {
+            name: _points(poly.points)
+            for name, poly in board.routable_areas.items()
+        },
+    }
+
+
+def board_to_json(board: Board, indent: int = 2) -> str:
+    """The board as a JSON string."""
+    return json.dumps(board_to_dict(board), indent=indent)
+
+
+def save_board(board: Board, path: str) -> str:
+    """Write the board to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(board_to_json(board))
+    return path
+
+
+# -- decoding ---------------------------------------------------------------------
+
+
+def _to_points(data) -> List[Point]:
+    return [Point(float(x), float(y)) for x, y in data]
+
+
+def _to_rules(data: Dict[str, float]) -> DesignRules:
+    return DesignRules(
+        dgap=data["dgap"],
+        dobs=data["dobs"],
+        dprotect=data["dprotect"],
+        dmiter=data.get("dmiter", 0.0),
+    )
+
+
+def _to_trace(data: Dict[str, Any]) -> Trace:
+    return Trace(
+        name=data["name"],
+        path=Polyline(_to_points(data["path"])),
+        width=data["width"],
+        net=data.get("net", ""),
+    )
+
+
+def board_from_dict(data: Dict[str, Any]) -> Board:
+    """Rebuild a board from :func:`board_to_dict` output.
+
+    Raises :class:`ValueError` on an unknown format version or a group
+    referencing a missing member.
+    """
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported board format version: {version!r}")
+
+    rules = RuleSet(
+        default=_to_rules(data["rules"]["default"]),
+        areas=[
+            DesignRuleArea(
+                region=Polygon(_to_points(a["region"])),
+                rules=_to_rules(a["rules"]),
+                name=a.get("name", ""),
+            )
+            for a in data["rules"].get("areas", [])
+        ],
+    )
+    board = Board(outline=Polygon(_to_points(data["outline"])), rules=rules)
+
+    for t in data.get("traces", []):
+        board.add_trace(_to_trace(t))
+    for p in data.get("pairs", []):
+        board.add_pair(
+            DifferentialPair(
+                name=p["name"],
+                trace_p=_to_trace(p["trace_p"]),
+                trace_n=_to_trace(p["trace_n"]),
+                rule=p["rule"],
+                extra_rules=tuple(p.get("extra_rules", ())),
+            )
+        )
+    for o in data.get("obstacles", []):
+        board.add_obstacle(
+            Obstacle(
+                polygon=Polygon(_to_points(o["polygon"])),
+                kind=o.get("kind", "keepout"),
+                name=o.get("name", ""),
+            )
+        )
+
+    by_name: Dict[str, Any] = {t.name: t for t in board.traces}
+    by_name.update({p.name: p for p in board.pairs})
+    for g in data.get("groups", []):
+        members = []
+        for name in g["members"]:
+            if name not in by_name:
+                raise ValueError(f"group '{g['name']}' references unknown member '{name}'")
+            members.append(by_name[name])
+        board.add_group(
+            MatchGroup(
+                name=g["name"],
+                members=members,
+                target_length=g.get("target_length"),
+                tolerance=g.get("tolerance", 1e-3),
+            )
+        )
+    for name, pts in data.get("routable_areas", {}).items():
+        board.set_routable_area(name, Polygon(_to_points(pts)))
+    return board
+
+
+def board_from_json(text: str) -> Board:
+    """Rebuild a board from a JSON string."""
+    return board_from_dict(json.loads(text))
+
+
+def load_board(path: str) -> Board:
+    """Read a board from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return board_from_json(fh.read())

@@ -1,0 +1,23 @@
+"""PCB data model: rules, traces, pairs, obstacles, groups and boards."""
+
+from .rules import DesignRuleArea, DesignRules, RuleSet
+from .trace import Trace
+from .diffpair import DifferentialPair
+from .obstacle import Obstacle, rect_keepout, via, via_grid
+from .group import MatchGroup, Member
+from .board import Board
+
+__all__ = [
+    "DesignRuleArea",
+    "DesignRules",
+    "RuleSet",
+    "Trace",
+    "DifferentialPair",
+    "Obstacle",
+    "rect_keepout",
+    "via",
+    "via_grid",
+    "MatchGroup",
+    "Member",
+    "Board",
+]

@@ -1,0 +1,23 @@
+"""Region assignment (Sec. III): decomposition, capacity model, LP."""
+
+from .capacity import meander_pitch, required_area, trace_requirement
+from .decompose import Decomposition, Region, decompose
+from .assign import (
+    Assignment,
+    AssignmentInfeasible,
+    apply_assignment,
+    assign_regions,
+)
+
+__all__ = [
+    "meander_pitch",
+    "required_area",
+    "trace_requirement",
+    "Decomposition",
+    "Region",
+    "decompose",
+    "Assignment",
+    "AssignmentInfeasible",
+    "apply_assignment",
+    "assign_regions",
+]

@@ -1,0 +1,46 @@
+"""Length <-> space relation — the ``Req_j`` of Sec. III.
+
+The paper grounds region sizing in the relation between length and space
+"revealed in [8]" (BSG-route): a serpentine filling a region of area ``A``
+with leg pitch ``p`` holds roughly ``2A/p`` of extra length (each leg of
+height ``h`` adds ``2h`` and consumes ``p * h`` of area... per full
+up-down period of two legs the added length is ``2h`` per leg over pitch
+``p`` per leg).  Inverting gives the area a trace must be assigned to
+absorb its length deficit.
+"""
+
+from __future__ import annotations
+
+
+from ..model import DesignRules, Trace
+
+
+def meander_pitch(rules: DesignRules, width: float) -> float:
+    """Centre-to-centre pitch of adjacent meander legs.
+
+    A leg is followed by a same-side leg one pattern width plus one
+    ``d_gap`` (plus copper) away; the average leg pitch over a full
+    pattern period (two legs per ``w + gap``) is half the period.
+    """
+    period = max(rules.dprotect, 1e-9) + rules.dgap + width
+    return period / 2.0
+
+def required_area(
+    delta_length: float, rules: DesignRules, width: float, safety: float = 1.5
+) -> float:
+    """Area (board units squared) needed to absorb ``delta_length``.
+
+    ``safety`` covers the slack real meanders lose to stubs, obstacle
+    avoidance and quantization; 1.5 is generous but region assignment is
+    allowed to over-provision (constraint (2) only caps per-region use).
+    """
+    if delta_length <= 0:
+        return 0.0
+    return delta_length * meander_pitch(rules, width) / 2.0 * safety
+
+
+def trace_requirement(
+    trace: Trace, target: float, rules: DesignRules, safety: float = 1.5
+) -> float:
+    """``Req_j`` for one trace and its group target."""
+    return required_area(target - trace.length(), rules, trace.width, safety)

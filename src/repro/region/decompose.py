@@ -1,0 +1,121 @@
+"""Layout decomposition into candidate routing regions.
+
+Sec. III divides "the design according to its layout to compose several
+regions"; any decomposition works as long as capacities and adjacencies
+are meaningful.  We use a uniform grid clipped to the board outline:
+cells overlapping obstacles lose the overlap from their capacity, and a
+cell neighbours a trace when it lies within a configurable reach of the
+trace's path (constraint (1)'s neighbour validity).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..geometry import Point, Polygon, rectangle
+from ..model import Board, Trace
+
+
+@dataclass(frozen=True)
+class Region:
+    """One candidate routing region (a grid cell)."""
+
+    index: int
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+    capacity: float          # usable area after obstacle deduction
+    crossed_by: Tuple[str, ...] = ()   # traces whose path enters the cell
+
+    def rect(self) -> Tuple[float, float, float, float]:
+        return (self.xmin, self.ymin, self.xmax, self.ymax)
+
+    def polygon(self) -> Polygon:
+        return rectangle(self.xmin, self.ymin, self.xmax, self.ymax)
+
+    def center(self) -> Point:
+        return Point((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    def area(self) -> float:
+        return (self.xmax - self.xmin) * (self.ymax - self.ymin)
+
+
+@dataclass
+class Decomposition:
+    """The grid, plus trace adjacency used by the LP."""
+
+    regions: List[Region]
+    neighbours: Dict[str, List[int]]   # trace name -> region indices
+
+    def region(self, index: int) -> Region:
+        return self.regions[index]
+
+
+def decompose(
+    board: Board,
+    traces: Sequence[Trace],
+    cell: float,
+    reach: Optional[float] = None,
+) -> Decomposition:
+    """Grid decomposition of ``board`` for the given traces.
+
+    ``cell`` is the grid pitch; ``reach`` the neighbour-validity distance
+    (default: two cells).  Capacity deducts the bounding-box overlap with
+    obstacles — an over-estimate of the loss, which only makes the LP more
+    conservative.
+    """
+    if cell <= 0:
+        raise ValueError("cell size must be positive")
+    reach = reach if reach is not None else 2.0 * cell
+    xmin, ymin, xmax, ymax = board.outline.bounds()
+    nx = max(1, int(math.ceil((xmax - xmin) / cell)))
+    ny = max(1, int(math.ceil((ymax - ymin) / cell)))
+
+    regions: List[Region] = []
+    neighbours: Dict[str, List[int]] = {t.name: [] for t in traces}
+    segs_per_trace = {t.name: t.segments() for t in traces}
+
+    index = 0
+    for iy in range(ny):
+        for ix in range(nx):
+            cx0 = xmin + ix * cell
+            cy0 = ymin + iy * cell
+            cx1 = min(cx0 + cell, xmax)
+            cy1 = min(cy0 + cell, ymax)
+            if cx1 - cx0 <= 0 or cy1 - cy0 <= 0:
+                continue
+            area = (cx1 - cx0) * (cy1 - cy0)
+            blocked = 0.0
+            for obstacle in board.obstacles:
+                oxmin, oymin, oxmax, oymax = obstacle.bounds()
+                ox = max(0.0, min(cx1, oxmax) - max(cx0, oxmin))
+                oy = max(0.0, min(cy1, oymax) - max(cy0, oymin))
+                blocked += ox * oy
+            capacity = max(0.0, area - blocked)
+            center = Point((cx0 + cx1) / 2.0, (cy0 + cy1) / 2.0)
+            crossed: List[str] = []
+            for t in traces:
+                half_diag = math.hypot(cx1 - cx0, cy1 - cy0) / 2.0
+                dist = min(
+                    seg.distance_to_point(center) for seg in segs_per_trace[t.name]
+                )
+                if dist <= half_diag:
+                    crossed.append(t.name)
+                if dist <= reach:
+                    neighbours[t.name].append(index)
+            regions.append(
+                Region(
+                    index=index,
+                    xmin=cx0,
+                    ymin=cy0,
+                    xmax=cx1,
+                    ymax=cy1,
+                    capacity=capacity,
+                    crossed_by=tuple(crossed),
+                )
+            )
+            index += 1
+    return Decomposition(regions=regions, neighbours=neighbours)

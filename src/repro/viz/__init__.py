@@ -1,0 +1,5 @@
+"""SVG visualization of boards and routing results."""
+
+from .svg import SvgCanvas, canvas_for_board, color_for, render_board
+
+__all__ = ["SvgCanvas", "canvas_for_board", "color_for", "render_board"]

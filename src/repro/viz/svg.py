@@ -1,0 +1,166 @@
+"""SVG rendering of boards and routing results.
+
+No plotting stack is available offline, so the display figures of the
+paper (Figs. 14-16) are regenerated as standalone SVG files.  The canvas
+flips the y-axis so board coordinates read the usual way (y up).
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from ..geometry import Point, Polygon, Polyline
+from ..model import Board
+
+_PALETTE = [
+    "#1f77b4",
+    "#d62728",
+    "#2ca02c",
+    "#9467bd",
+    "#ff7f0e",
+    "#17becf",
+    "#8c564b",
+    "#e377c2",
+    "#bcbd22",
+    "#7f7f7f",
+]
+
+
+def color_for(index: int) -> str:
+    """Deterministic palette colour for the ``index``-th net."""
+    return _PALETTE[index % len(_PALETTE)]
+
+
+@dataclass
+class SvgCanvas:
+    """A tiny retained-mode SVG writer."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+    scale: float = 4.0
+    margin: float = 10.0
+    _elements: List[str] = field(default_factory=list)
+
+    # -- coordinate mapping ------------------------------------------------------
+
+    def _map(self, p: Point) -> Tuple[float, float]:
+        x = (p.x - self.xmin) * self.scale + self.margin
+        y = (self.ymax - p.y) * self.scale + self.margin
+        return (x, y)
+
+    def _pts(self, points: Iterable[Point]) -> str:
+        return " ".join(f"{x:.2f},{y:.2f}" for x, y in (self._map(p) for p in points))
+
+    # -- primitives -----------------------------------------------------------------
+
+    def polygon(
+        self,
+        poly: Polygon,
+        fill: str = "#cccccc",
+        stroke: str = "none",
+        opacity: float = 1.0,
+        stroke_width: float = 1.0,
+    ) -> None:
+        self._elements.append(
+            f'<polygon points="{self._pts(poly.points)}" fill="{fill}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}" '
+            f'fill-opacity="{opacity:.3f}" />'
+        )
+
+    def polyline(
+        self,
+        line: Polyline,
+        stroke: str = "#000000",
+        width: float = 2.0,
+        dash: Optional[str] = None,
+        opacity: float = 1.0,
+    ) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<polyline points="{self._pts(line.points)}" fill="none" '
+            f'stroke="{stroke}" stroke-width="{width:.2f}" '
+            f'stroke-opacity="{opacity:.3f}" stroke-linejoin="round" '
+            f'stroke-linecap="round"{dash_attr} />'
+        )
+
+    def circle(self, center: Point, radius: float, fill: str = "#333333") -> None:
+        x, y = self._map(center)
+        self._elements.append(
+            f'<circle cx="{x:.2f}" cy="{y:.2f}" r="{radius * self.scale:.2f}" '
+            f'fill="{fill}" />'
+        )
+
+    def text(self, anchor: Point, label: str, size: float = 12.0, fill: str = "#000") -> None:
+        x, y = self._map(anchor)
+        self._elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size:.1f}" '
+            f'fill="{fill}" font-family="sans-serif">{html.escape(label)}</text>'
+        )
+
+    # -- output --------------------------------------------------------------------------
+
+    def to_svg(self) -> str:
+        w = (self.xmax - self.xmin) * self.scale + 2 * self.margin
+        h = (self.ymax - self.ymin) * self.scale + 2 * self.margin
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0f}" '
+            f'height="{h:.0f}" viewBox="0 0 {w:.0f} {h:.0f}">\n'
+            f'  <rect width="100%" height="100%" fill="#ffffff" />\n'
+            f"  {body}\n</svg>\n"
+        )
+
+    def save(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_svg())
+        return path
+
+
+def canvas_for_board(board: Board, scale: float = 4.0) -> SvgCanvas:
+    xmin, ymin, xmax, ymax = board.outline.bounds()
+    return SvgCanvas(xmin, ymin, xmax, ymax, scale=scale)
+
+
+def render_board(
+    board: Board,
+    path: Optional[str] = None,
+    scale: float = 4.0,
+    show_areas: bool = False,
+    reference: Optional[dict] = None,
+) -> str:
+    """Render the board; returns the SVG text (and writes ``path`` if set).
+
+    ``reference`` may map member names to their *original* polylines,
+    drawn dashed underneath the current routing so before/after figures
+    (Fig. 14/15 style) come out of one call.
+    """
+    canvas = canvas_for_board(board, scale)
+    canvas.polygon(board.outline, fill="none", stroke="#555555", stroke_width=1.5)
+    if show_areas:
+        for name, area in board.routable_areas.items():
+            canvas.polygon(area, fill="#f2f2d0", stroke="#bbbb88", opacity=0.6)
+    for obstacle in board.obstacles:
+        canvas.polygon(obstacle.polygon, fill="#444444", opacity=0.85)
+    if reference:
+        for name, line in reference.items():
+            canvas.polyline(line, stroke="#999999", width=1.0, dash="4,3")
+    idx = 0
+    for trace in board.traces:
+        canvas.polyline(
+            trace.path, stroke=color_for(idx), width=max(1.5, trace.width * scale / 2)
+        )
+        idx += 1
+    for pair in board.pairs:
+        color = color_for(idx)
+        canvas.polyline(pair.trace_p.path, stroke=color, width=1.8)
+        canvas.polyline(pair.trace_n.path, stroke=color, width=1.8, opacity=0.65)
+        idx += 1
+    svg = canvas.to_svg()
+    if path:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(svg)
+    return svg

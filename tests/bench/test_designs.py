@@ -1,0 +1,124 @@
+"""Unit tests for the synthetic benchmark designs."""
+
+import math
+
+import pytest
+
+from repro.bench import (
+    TABLE1_SPECS,
+    TABLE2_DGAPS,
+    TABLE2_LENGTH,
+    make_any_direction_design,
+    make_msdtw_case,
+    make_table1_case,
+    make_table2_design,
+)
+from repro.bench.metrics import avg_error_pct, max_error_pct
+from repro.drc import check_board
+
+
+class TestTable1Designs:
+    @pytest.mark.parametrize("case", [s.case for s in TABLE1_SPECS])
+    def test_initial_errors_match_published(self, case):
+        board, spec = make_table1_case(case)
+        group = board.groups[0]
+        lengths = [m.length() for m in group.members]
+        assert math.isclose(
+            max_error_pct(spec.l_target, lengths), spec.initial_max, abs_tol=0.05
+        )
+        assert math.isclose(
+            avg_error_pct(spec.l_target, lengths), spec.initial_avg, abs_tol=0.05
+        )
+
+    @pytest.mark.parametrize("case", [1, 5])
+    def test_original_layout_is_drc_clean(self, case):
+        board, _ = make_table1_case(case)
+        assert check_board(board).is_clean()
+
+    def test_group_sizes_match_spec(self):
+        for spec in TABLE1_SPECS:
+            board, _ = make_table1_case(spec.case)
+            assert len(board.groups[0]) == spec.group_size
+
+    def test_differential_case_has_pairs(self):
+        board, spec = make_table1_case(5)
+        assert spec.trace_type == "differential"
+        assert len(board.pairs) == spec.group_size
+        assert not board.traces
+
+    def test_dense_cases_have_obstacles(self):
+        board, _ = make_table1_case(1)
+        assert len(board.obstacles) == 2 * 8
+
+    def test_routable_areas_contain_traces(self):
+        board, _ = make_table1_case(1)
+        for t in board.traces:
+            area = board.routable_areas[t.name]
+            for p in t.path.points:
+                assert area.contains_point(p)
+
+    def test_deterministic(self):
+        b1, _ = make_table1_case(2)
+        b2, _ = make_table1_case(2)
+        for t1, t2 in zip(b1.traces, b2.traces):
+            assert t1.path.points == t2.path.points
+
+    def test_traces_are_tilted(self):
+        board, _ = make_table1_case(1)
+        t = board.traces[0]
+        d = t.segments()[0].direction()
+        assert abs(d.y) > 1e-3  # genuinely any-direction
+
+
+class TestTable2Design:
+    @pytest.mark.parametrize("dgap", TABLE2_DGAPS)
+    def test_original_length(self, dgap):
+        _, trace = make_table2_design(dgap)
+        assert math.isclose(trace.length(), TABLE2_LENGTH, rel_tol=1e-9)
+
+    def test_ideal_ratio_matches_paper_case1(self):
+        assert math.isclose(TABLE2_LENGTH / 2.5, 24.88, abs_tol=0.01)
+
+    def test_has_diagonal_segment(self):
+        _, trace = make_table2_design(3.0)
+        dirs = [s.direction() for s in trace.segments()]
+        assert any(abs(d.x) > 0.1 and abs(d.y) > 0.1 for d in dirs)
+
+    def test_via_field_nonempty_and_clean(self):
+        board, _ = make_table2_design(2.5)
+        assert len(board.obstacles) > 10
+        assert check_board(board).is_clean()
+
+    def test_tighter_rules_fewer_vias_never(self):
+        # The via field is identical across d_gap values; only rules change.
+        b1, _ = make_table2_design(2.5)
+        b2, _ = make_table2_design(5.0)
+        assert len(b1.obstacles) == len(b2.obstacles)
+
+
+class TestShowcaseDesigns:
+    def test_any_direction_angles(self):
+        board = make_any_direction_design()
+        angles = set()
+        for t in board.traces:
+            d = t.segments()[0].direction()
+            angles.add(round(math.degrees(math.atan2(d.y, d.x))))
+        assert angles == {17, 33, 56}
+
+    def test_any_direction_is_clean(self):
+        board = make_any_direction_design()
+        assert check_board(board).is_clean()
+
+    def test_msdtw_case_is_decoupled(self):
+        board, pair = make_msdtw_case()
+        # The tiny pattern decouples the pair beyond float noise (finely
+        # sampled — the pattern is only ~1 unit wide).
+        assert pair.max_decoupling(samples=512) > 0.3
+
+    def test_msdtw_case_multiple_rules(self):
+        _, pair = make_msdtw_case()
+        assert len(pair.distance_rules()) == 2
+
+    def test_msdtw_case_target_reachable(self):
+        board, pair = make_msdtw_case()
+        assert board.groups[0].resolved_target() > pair.length()

@@ -1,0 +1,73 @@
+"""Unit tests for the evaluation metrics (Eqs. 19-20) and table rows."""
+
+import math
+
+import pytest
+
+from repro.bench import (
+    Table1Row,
+    Table2Row,
+    avg_error_pct,
+    extension_upper_bound_pct,
+    format_table,
+    max_error_pct,
+)
+
+
+class TestErrorMetrics:
+    def test_max_error(self):
+        assert math.isclose(max_error_pct(100.0, [80.0, 95.0]), 20.0)
+
+    def test_avg_error(self):
+        assert math.isclose(avg_error_pct(100.0, [80.0, 100.0]), 10.0)
+
+    def test_zero_error_when_matched(self):
+        assert max_error_pct(100.0, [100.0, 100.0]) == 0.0
+
+    def test_negative_on_overshoot(self):
+        assert max_error_pct(100.0, [101.0]) < 0.0
+
+    def test_extension_upper_bound(self):
+        assert math.isclose(extension_upper_bound_pct(62.2, 124.4), 100.0)
+
+    def test_extension_upper_bound_zero(self):
+        assert extension_upper_bound_pct(50.0, 50.0) == 0.0
+
+
+class TestRows:
+    def make_row1(self) -> Table1Row:
+        return Table1Row(
+            case=1,
+            l_target=205.88,
+            dgap=8.0,
+            group_size=8,
+            trace_type="single-ended",
+            spacing="dense",
+            initial_max=37.38,
+            aidt_max=33.52,
+            ours_max=3.02,
+            initial_avg=19.02,
+            aidt_avg=14.23,
+            ours_avg=1.30,
+            aidt_runtime=0.92,
+            ours_runtime=6.87,
+        )
+
+    def test_table1_format_contains_values(self):
+        text = self.make_row1().format()
+        assert "205.88" in text and "3.02" in text
+
+    def test_table2_format(self):
+        row = Table2Row(
+            case=1, dgap=2.5, w_trace=0.5, ideal_patterns=24.88,
+            with_dp=879.30, without_dp=845.80,
+        )
+        text = row.format()
+        assert "879.30" in text and "845.80" in text
+
+    def test_format_table_aligns(self):
+        rows = [self.make_row1()]
+        table = format_table(Table1Row.HEADER, rows)
+        lines = table.splitlines()
+        assert len(lines) == 3
+        assert lines[1].startswith("---")

@@ -1,0 +1,184 @@
+"""Unit tests for the segment DP (Eqs. 5-8, transit restoration).
+
+Hand-computable instances: free space (gains are exact multiples of the
+capped height), a single blocking obstacle, node feet, the p_local
+connection, and the priority tie-breaks.
+"""
+
+import math
+
+import pytest
+
+from repro.core import DPConfig, SegmentDP, ShrinkEnvironment
+from repro.geometry import Polygon, rectangle
+
+
+def make_dp(
+    n=21,
+    step=1.0,
+    k_gap=4,
+    k_protect=2,
+    w_min=2,
+    h_min=2.0,
+    h_init=5.0,
+    g=2.0,
+    polys=(),
+    allow_node_feet=True,
+    max_width_steps=None,
+):
+    cfg = DPConfig(
+        step=step,
+        n=n,
+        k_gap=k_gap,
+        k_protect=k_protect,
+        w_min=w_min,
+        h_min=h_min,
+        h_init=h_init,
+        g=g,
+        allow_node_feet=allow_node_feet,
+        max_width_steps=max_width_steps,
+    )
+    envs = {
+        1: ShrinkEnvironment(list(polys)),
+        -1: ShrinkEnvironment([Polygon([p for p in poly.points]) for poly in polys]),
+    }
+    return SegmentDP(cfg, envs)
+
+
+class TestFreeSpace:
+    def test_positive_gain(self):
+        result = make_dp().run()
+        assert result.gain > 0
+
+    def test_gain_counts_patterns(self):
+        result = make_dp().run()
+        assert math.isclose(
+            result.gain, sum(p.gain() for p in result.patterns), rel_tol=1e-12
+        )
+
+    def test_heights_capped_at_h_init(self):
+        result = make_dp(h_init=3.5).run()
+        assert all(p.height <= 3.5 + 1e-12 for p in result.patterns)
+
+    def test_max_packing_in_free_space(self):
+        # 20 steps; min pattern (w=2) + gap (4) = 6 per extra pattern.
+        # With node feet at both ends the packing fits 4 patterns.
+        result = make_dp().run()
+        assert len(result.patterns) >= 3
+        assert result.gain >= 3 * 2 * 5.0 - 1e-9
+
+    def test_patterns_sorted_and_disjoint(self):
+        result = make_dp().run()
+        for a, b in zip(result.patterns, result.patterns[1:]):
+            assert a.x_right <= b.x_left + 1e-12
+
+    def test_same_side_spacing_respected(self):
+        result = make_dp().run()
+        for a, b in zip(result.patterns, result.patterns[1:]):
+            if a.direction == b.direction:
+                assert b.x_left - a.x_right >= 4.0 - 1e-9  # k_gap * step
+
+    def test_opposite_side_spacing_respected(self):
+        result = make_dp().run()
+        for a, b in zip(result.patterns, result.patterns[1:]):
+            if a.direction != b.direction:
+                gap = b.x_left - a.x_right
+                assert gap <= 1e-9 or gap >= 2.0 - 1e-9  # plocal or k_protect
+
+    def test_width_floor(self):
+        result = make_dp().run()
+        assert all(p.width() >= 2.0 - 1e-9 for p in result.patterns)
+
+
+class TestNodeFeet:
+    def test_node_feet_allowed_by_default(self):
+        # A segment too short for interior stubs still fits one pattern
+        # spanning node to node.
+        result = make_dp(n=5, w_min=2, k_protect=2).run()
+        assert result.gain > 0
+
+    def test_node_feet_disabled(self):
+        # Without node feet, a 4-step segment cannot host a pattern whose
+        # stubs respect d_protect (2 + 2 + 2 > 4).
+        result = make_dp(n=5, w_min=2, k_protect=2, allow_node_feet=False).run()
+        assert result.gain == 0.0
+
+    def test_disabled_keeps_interior_patterns(self):
+        result = make_dp(n=21, allow_node_feet=False).run()
+        assert result.gain > 0
+        for p in result.patterns:
+            assert p.left_index >= 2 and p.right_index <= 18
+
+
+class TestObstacles:
+    def test_blocking_wall_halves_gain(self):
+        # Wall above the middle of the segment on both sides.
+        wall = rectangle(8.0, 0.5, 13.0, 100.0)
+        free = make_dp().run()
+        blocked = make_dp(polys=[wall]).run()
+        assert 0 < blocked.gain < free.gain
+
+    def test_full_ceiling_stops_everything(self):
+        ceiling = rectangle(-10.0, 0.5, 40.0, 100.0)
+        assert make_dp(polys=[ceiling]).run().gain == 0.0
+
+    def test_low_ceiling_reduces_heights(self):
+        ceiling = rectangle(-10.0, 5.5, 40.0, 100.0)
+        result = make_dp(polys=[ceiling]).run()
+        assert result.gain > 0
+        assert all(p.height <= 3.5 + 1e-9 for p in result.patterns)
+
+    def test_enclosable_obstacle_spanned(self):
+        # A box in the middle of a short segment blocks every foot column
+        # except the outermost ones, so the only legal pattern *encloses*
+        # the box — the paper's obstacle-aware signature move.
+        box = rectangle(3.0, 1.0, 5.0, 2.0)
+        result = make_dp(n=9, polys=[box], h_init=8.0, h_min=2.0).run()
+        assert result.gain > 0
+        assert all(
+            p.x_left <= 1.0 + 1e-9 and p.x_right >= 7.0 - 1e-9
+            for p in result.patterns
+        )
+        assert any(p.height > 2.0 for p in result.patterns)
+
+    def test_packing_beats_single_enclosure_when_space_allows(self):
+        # With a long segment the DP prefers many narrow patterns around
+        # the box over one wide enclosing pattern — packing dominates.
+        box = rectangle(9.0, 1.0, 11.0, 2.0)
+        result = make_dp(polys=[box], h_init=8.0, h_min=4.0).run()
+        assert result.gain >= 5 * 16.0 - 1e-6
+        for p in result.patterns:
+            # No foot lands in the blocked columns around the box.
+            for foot in (p.x_left, p.x_right):
+                assert not (7.0 < foot < 13.0)
+
+
+class TestRestoration:
+    def test_transit_restores_consistent_heights(self):
+        dp = make_dp()
+        result = dp.run()
+        for p in result.patterns:
+            assert math.isclose(
+                p.height, dp.height(p.left_index, p.right_index, p.direction)
+            )
+
+    def test_no_gain_no_patterns(self):
+        ceiling = rectangle(-10.0, 0.2, 40.0, 100.0)
+        result = make_dp(polys=[ceiling]).run()
+        assert result.patterns == []
+
+    def test_max_width_cap(self):
+        result = make_dp(max_width_steps=3).run()
+        assert all(p.width() <= 3.0 + 1e-9 for p in result.patterns)
+
+
+class TestUpperBoundPrefilter:
+    def test_prefilter_matches_exact_when_unobstructed(self):
+        dp = make_dp()
+        assert dp.height_upper_bound(5, 9, 1) >= dp.height(5, 9, 1)
+
+    def test_prefilter_admissible_with_obstacles(self):
+        box = rectangle(4.0, 3.0, 6.0, 5.0)
+        dp = make_dp(polys=[box])
+        for il, ir in ((3, 7), (4, 8), (2, 10)):
+            assert dp.height_upper_bound(il, ir, 1) >= dp.height(il, ir, 1) - 1e-9

@@ -1,0 +1,126 @@
+"""Unit tests for convex patterns and chain assembly."""
+
+import math
+
+import pytest
+
+from repro.core import Pattern, chain_new_segments, miter_pattern_corners, patterns_to_chain
+from repro.geometry import Frame, Point, Polyline, Segment
+
+
+def frames_for(seg: Segment):
+    return {d: Frame.from_segment(seg, d) for d in (1, -1)}
+
+
+class TestPattern:
+    def test_gain_is_twice_height(self):
+        p = Pattern(x_left=2, x_right=5, height=4, direction=1)
+        assert p.gain() == 8
+
+    def test_width(self):
+        assert Pattern(2, 5, 4, 1).width() == 3
+
+    def test_validates_feet_order(self):
+        with pytest.raises(ValueError):
+            Pattern(5, 2, 4, 1)
+
+    def test_validates_height(self):
+        with pytest.raises(ValueError):
+            Pattern(2, 5, 0, 1)
+
+    def test_validates_direction(self):
+        with pytest.raises(ValueError):
+            Pattern(2, 5, 4, 2)
+
+    def test_local_points_rectangle(self):
+        pts = Pattern(2, 5, 4, 1).local_points()
+        assert pts == [Point(2, 0), Point(2, 4), Point(5, 4), Point(5, 0)]
+
+    def test_world_points_follow_frame(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        f = Frame.from_segment(seg, 1)
+        pts = Pattern(2, 5, 4, 1).world_points(f)
+        assert pts[1].almost_equals(Point(2, 4))
+
+    def test_world_points_mirrored(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        f = Frame.from_segment(seg, -1)
+        pts = Pattern(2, 5, 4, -1).world_points(f)
+        assert pts[1].almost_equals(Point(2, -4))
+
+    def test_with_height(self):
+        p = Pattern(2, 5, 4, 1).with_height(2.5)
+        assert p.height == 2.5 and p.x_left == 2
+
+
+class TestChainAssembly:
+    def test_single_pattern_chain(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        chain = patterns_to_chain(seg, [Pattern(3, 6, 2, 1)], frames_for(seg))
+        line = Polyline(chain)
+        assert line.start == seg.a and line.end == seg.b
+        assert math.isclose(line.length(), 10 + 4)
+
+    def test_two_separate_patterns(self):
+        seg = Segment(Point(0, 0), Point(20, 0))
+        patterns = [Pattern(2, 5, 2, 1), Pattern(10, 13, 3, -1)]
+        chain = patterns_to_chain(seg, patterns, frames_for(seg))
+        assert math.isclose(Polyline(chain).length(), 20 + 4 + 6)
+
+    def test_connected_opposite_patterns_merge_leg(self):
+        # plocal connection (Fig. 3(c)): shared foot at x=6 crosses the axis.
+        seg = Segment(Point(0, 0), Point(20, 0))
+        patterns = [Pattern(2, 6, 2, 1), Pattern(6, 10, 3, -1)]
+        chain = patterns_to_chain(seg, patterns, frames_for(seg))
+        line = Polyline(chain)
+        assert math.isclose(line.length(), 20 + 4 + 6)
+        # The crossing leg is one straight segment from (6,2) to (6,-3).
+        assert Point(6, 2) in chain and Point(6, -3) in chain
+        assert Point(6, 0) not in chain
+
+    def test_diagonal_segment_any_direction(self):
+        seg = Segment(Point(0, 0), Point(10, 10))
+        chain = patterns_to_chain(seg, [Pattern(3, 6, 2, 1)], frames_for(seg))
+        line = Polyline(chain)
+        assert math.isclose(line.length(), seg.length() + 4, rel_tol=1e-9)
+        assert line.start.almost_equals(seg.a) and line.end.almost_equals(seg.b)
+
+    def test_foot_on_node(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        chain = patterns_to_chain(seg, [Pattern(0, 4, 2, 1)], frames_for(seg))
+        line = Polyline(chain)
+        assert line.start == seg.a
+        assert math.isclose(line.length(), 10 + 4)
+
+    def test_chain_new_segments(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        chain = patterns_to_chain(seg, [Pattern(3, 6, 2, 1)], frames_for(seg))
+        segs = chain_new_segments(chain)
+        assert len(segs) == 5  # stub, leg, top, leg, stub
+        assert all(not s.is_degenerate() for s in segs)
+
+
+class TestMiter:
+    def test_no_miter_identity(self):
+        pts = [Point(0, 0), Point(5, 0), Point(5, 5)]
+        assert miter_pattern_corners(pts, 0.0) == pts
+
+    def test_right_angle_cut(self):
+        pts = [Point(0, 0), Point(5, 0), Point(5, 5)]
+        out = miter_pattern_corners(pts, 1.0)
+        assert len(out) == 4
+        assert Point(4, 0) in out and Point(5, 1) in out
+
+    def test_miter_shortens_path(self):
+        pts = [Point(0, 0), Point(5, 0), Point(5, 5)]
+        before = Polyline(pts).length()
+        after = Polyline(miter_pattern_corners(pts, 1.0)).length()
+        assert math.isclose(before - after, 2 - math.sqrt(2))
+
+    def test_obtuse_corner_untouched(self):
+        pts = [Point(0, 0), Point(5, 0), Point(10, 2)]
+        assert len(miter_pattern_corners(pts, 1.0)) == 3
+
+    def test_short_segments_skipped(self):
+        pts = [Point(0, 0), Point(1.5, 0), Point(1.5, 5)]
+        assert len(miter_pattern_corners(pts, 1.0)) == 3

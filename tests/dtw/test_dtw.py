@@ -1,0 +1,95 @@
+"""Unit tests for the DTW node matching (Eq. 17)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dtw import dtw_match
+from repro.geometry import Point
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+point_lists = st.lists(st.builds(Point, coords, coords), min_size=1, max_size=12)
+
+
+class TestBasics:
+    def test_empty_inputs(self):
+        assert dtw_match([], [Point(0, 0)]) == ([], 0.0)
+        assert dtw_match([Point(0, 0)], []) == ([], 0.0)
+
+    def test_single_pair(self):
+        pairs, cost = dtw_match([Point(0, 0)], [Point(3, 4)])
+        assert len(pairs) == 1 and math.isclose(cost, 5.0)
+
+    def test_identical_sequences_diagonal(self):
+        pts = [Point(i, 0) for i in range(5)]
+        pairs, cost = dtw_match(pts, pts)
+        assert math.isclose(cost, 0.0)
+        assert [(m.i, m.j) for m in pairs] == [(i, i) for i in range(5)]
+
+    def test_every_node_matched(self):
+        p = [Point(i, 1) for i in range(4)]
+        q = [Point(i * 0.5, -1) for i in range(7)]
+        pairs, _ = dtw_match(p, q)
+        assert {m.i for m in pairs} == set(range(4))
+        assert {m.j for m in pairs} == set(range(7))
+
+    def test_monotone_matching(self):
+        p = [Point(i, 1) for i in range(6)]
+        q = [Point(i, -1) for i in range(6)]
+        pairs, _ = dtw_match(p, q)
+        ordered = sorted(pairs, key=lambda m: (m.i, m.j))
+        for a, b in zip(ordered, ordered[1:]):
+            assert b.i >= a.i and b.j >= a.j
+
+    def test_unequal_counts_share_partner(self):
+        # Three close nodes of P against one node of Q (Fig. 10(a)).
+        p = [Point(0, 1), Point(0.1, 1), Point(0.2, 1), Point(10, 1)]
+        q = [Point(0.1, -1), Point(10, -1)]
+        pairs, _ = dtw_match(p, q)
+        j_for_cluster = {m.j for m in pairs if m.i <= 2}
+        assert j_for_cluster == {0}
+
+    def test_offset_parallel_lines_cost(self):
+        p = [Point(i * 10, 1) for i in range(3)]
+        q = [Point(i * 10, -1) for i in range(3)]
+        _, cost = dtw_match(p, q)
+        assert math.isclose(cost, 6.0)  # three matches at distance 2
+
+    def test_pair_costs_recorded(self):
+        pairs, _ = dtw_match([Point(0, 0)], [Point(0, 7)])
+        assert math.isclose(pairs[0].cost, 7.0)
+
+
+class TestProperties:
+    @settings(max_examples=40)
+    @given(point_lists, point_lists)
+    def test_total_cost_is_sum_of_pairs(self, p, q):
+        pairs, cost = dtw_match(p, q)
+        assert math.isclose(cost, sum(m.cost for m in pairs), rel_tol=1e-9, abs_tol=1e-6)
+
+    @settings(max_examples=40)
+    @given(point_lists, point_lists)
+    def test_full_coverage(self, p, q):
+        pairs, _ = dtw_match(p, q)
+        assert {m.i for m in pairs} == set(range(len(p)))
+        assert {m.j for m in pairs} == set(range(len(q)))
+
+    @settings(max_examples=40)
+    @given(point_lists, point_lists)
+    def test_symmetry_of_cost(self, p, q):
+        _, c1 = dtw_match(p, q)
+        _, c2 = dtw_match(q, p)
+        assert math.isclose(c1, c2, rel_tol=1e-9, abs_tol=1e-6)
+
+    @settings(max_examples=40)
+    @given(point_lists)
+    def test_self_match_zero_cost(self, p):
+        _, cost = dtw_match(p, p)
+        assert cost <= 1e-9
+
+    @settings(max_examples=30)
+    @given(point_lists, point_lists)
+    def test_path_length_bounds(self, p, q):
+        pairs, _ = dtw_match(p, q)
+        assert max(len(p), len(q)) <= len(pairs) <= len(p) + len(q) - 1

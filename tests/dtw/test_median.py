@@ -1,0 +1,106 @@
+"""Unit tests for median-trace generation (Eq. 18) and the virtual DRC."""
+
+import math
+
+import pytest
+
+from repro.dtw import MatchedPair, convert_pair, median_points, virtual_rules_for
+from repro.geometry import Point, Polyline
+from repro.model import DesignRules, DifferentialPair, Trace
+
+
+def pair_of(p_pts, n_pts, rule=2.0, width=0.6) -> DifferentialPair:
+    return DifferentialPair(
+        "d",
+        Trace("d_P", Polyline(p_pts), width=width),
+        Trace("d_N", Polyline(n_pts), width=width),
+        rule=rule,
+    )
+
+
+class TestMedianPoints:
+    def test_one_to_one_matches(self):
+        p = [Point(0, 1), Point(10, 1)]
+        q = [Point(0, -1), Point(10, -1)]
+        pairs = [MatchedPair(0, 0, 2.0), MatchedPair(1, 1, 2.0)]
+        pts = median_points(p, q, pairs)
+        assert pts[0].almost_equals(Point(0, 0))
+        assert pts[1].almost_equals(Point(10, 0))
+
+    def test_many_to_one_does_not_shift(self):
+        # Three P nodes cluster against one N node (Fig. 10(a)); Eq. 18
+        # averages per trace first so the median stays centred.
+        p = [Point(0, 1), Point(0.2, 1), Point(0.4, 1)]
+        q = [Point(0.2, -1)]
+        pairs = [MatchedPair(i, 0, 2.0) for i in range(3)]
+        pts = median_points(p, q, pairs)
+        assert len(pts) == 1
+        assert pts[0].almost_equals(Point(0.2, 0))
+
+    def test_component_ordering_follows_trace(self):
+        p = [Point(0, 1), Point(10, 1), Point(20, 1)]
+        q = [Point(0, -1), Point(10, -1), Point(20, -1)]
+        pairs = [MatchedPair(i, i, 2.0) for i in (2, 0, 1)]  # scrambled
+        pts = median_points(p, q, pairs)
+        assert [round(pt.x) for pt in pts] == [0, 10, 20]
+
+    def test_unmatched_nodes_do_not_contribute(self):
+        p = [Point(0, 1), Point(10, 1)]
+        q = [Point(0, -1), Point(5, -9), Point(10, -1)]
+        pairs = [MatchedPair(0, 0, 2.0), MatchedPair(1, 2, 2.0)]
+        pts = median_points(p, q, pairs)
+        assert len(pts) == 2
+        assert all(abs(pt.y) < 1e-9 for pt in pts)
+
+
+class TestVirtualRules:
+    def test_dprotect_raised_by_rule(self):
+        pair = pair_of([Point(0, 1), Point(10, 1)], [Point(0, -1), Point(10, -1)])
+        base = DesignRules(dgap=4, dobs=2, dprotect=1.5)
+        v = virtual_rules_for(pair, base)
+        assert math.isclose(v.dprotect, 1.5 + 2.0)
+        assert v.dgap == base.dgap and v.dobs == base.dobs
+
+
+class TestConvertPair:
+    def test_straight_pair_median(self):
+        pair = pair_of([Point(0, 1), Point(50, 1)], [Point(0, -1), Point(50, -1)])
+        conv = convert_pair(pair, DesignRules(dgap=4, dprotect=1.5))
+        assert math.isclose(conv.median.length(), 50.0)
+        assert all(abs(p.y) < 1e-9 for p in conv.median.path.points)
+
+    def test_median_width_is_envelope(self):
+        pair = pair_of([Point(0, 1), Point(50, 1)], [Point(0, -1), Point(50, -1)])
+        conv = convert_pair(pair, DesignRules())
+        assert math.isclose(conv.median.width, pair.virtual_width())
+
+    def test_offset_distance(self):
+        pair = pair_of([Point(0, 1), Point(50, 1)], [Point(0, -1), Point(50, -1)])
+        conv = convert_pair(pair, DesignRules())
+        assert math.isclose(conv.offset_distance(), 1.0)
+
+    def test_dropped_tiny_pattern_length_recorded(self):
+        n_pts = [
+            Point(0, -1),
+            Point(20, -1),
+            Point(22, -4.0),
+            Point(24, -4.0),
+            Point(26, -1),
+            Point(50, -1),
+        ]
+        pair = pair_of([Point(0, 1), Point(50, 1)], n_pts)
+        conv = convert_pair(pair, DesignRules())
+        detour = (
+            Point(20, -1).distance_to(Point(22, -4))
+            + 2.0
+            + Point(24, -4).distance_to(Point(26, -1))
+        )
+        chord = 6.0
+        assert conv.dropped_length_n > 0
+        assert math.isclose(conv.dropped_length_n, detour - chord, rel_tol=1e-6)
+
+    def test_degenerate_pair_rejected(self):
+        # Sub-traces far apart: every match filtered, no median points.
+        pair = pair_of([Point(0, 10), Point(50, 10)], [Point(0, -10), Point(50, -10)])
+        with pytest.raises(ValueError):
+            convert_pair(pair, DesignRules())

@@ -1,0 +1,127 @@
+"""Unit tests for MSDTW (Alg. 3): filtering, splitting, multi-scale."""
+
+import math
+
+import pytest
+
+from repro.dtw import MSDTWResult, filter_threshold, msdtw, msdtw_pair
+from repro.geometry import Point, Polyline
+from repro.model import DifferentialPair, Trace
+
+
+def coupled_nodes(n=6, rule=2.0, step=10.0):
+    p = [Point(i * step, rule / 2) for i in range(n)]
+    q = [Point(i * step, -rule / 2) for i in range(n)]
+    return p, q
+
+
+class TestFiltering:
+    def test_threshold_value(self):
+        assert math.isclose(filter_threshold(2.0), 2.0 * math.sqrt(2.0))
+
+    def test_coupled_nodes_all_match(self):
+        p, q = coupled_nodes()
+        result = msdtw(p, q, rules=[2.0])
+        assert len(result.pairs) == 6
+        assert not result.unpaired_p and not result.unpaired_n
+
+    def test_tiny_pattern_nodes_filtered(self):
+        # N carries a tiny pattern dropping to y = -3.2: those nodes are
+        # farther than sqrt(2)*rule from any P node.
+        rule = 2.0
+        p = [Point(x, 1.0) for x in (0, 10, 20, 30)]
+        q = [
+            Point(0, -1.0),
+            Point(10, -1.0),
+            Point(14, -3.2),
+            Point(16, -3.2),
+            Point(20, -1.0),
+            Point(30, -1.0),
+        ]
+        result = msdtw(p, q, rules=[rule])
+        assert result.unpaired_n == [2, 3]
+        assert not result.unpaired_p
+
+    def test_corner_matches_survive(self):
+        # A 45-degree corner offsets matched nodes by up to rule*sqrt(2);
+        # the bound admits them (the paper's obtuse-rotation argument).
+        rule = 2.0
+        p = [Point(0, 1), Point(10, 1), Point(20, 11)]
+        q = [Point(0, -1), Point(11.4, -1), Point(21.4, 9)]
+        result = msdtw(p, q, rules=[rule])
+        assert len(result.pairs) >= 3
+
+    def test_breakout_excluded(self):
+        p, q = coupled_nodes(n=6)
+        result = msdtw(p, q, rules=[2.0], breakout_p=1, breakout_n=1)
+        assert all(1 <= m.i <= 4 for m in result.pairs)
+        assert all(1 <= m.j <= 4 for m in result.pairs)
+
+    def test_requires_rules(self):
+        with pytest.raises(ValueError):
+            msdtw([Point(0, 0)], [Point(0, 1)], rules=[])
+
+
+class TestMultiScale:
+    # Fig. 12's cast: E/F couple under the small rule, G/H under the large
+    # one, and A is a tiny-pattern node near F that only the large rule
+    # would (wrongly) accept.
+    FIG12_P = [Point(0, 1.0), Point(20, 2.5), Point(30, 2.5)]
+    FIG12_N = [Point(0, -1.0), Point(2.0, -2.8), Point(20, -2.5), Point(30, -2.5)]
+
+    def test_fig12_single_scale_fails(self):
+        # With only the greatest rule, A matches E (cost 2.69 < sqrt(2)*5)
+        # — the uncontrollable filtering of Fig. 12(a).
+        result = msdtw(self.FIG12_P, self.FIG12_N, rules=[5.0])
+        assert 1 not in result.unpaired_n
+
+    def test_fig12_multi_scale_isolates_tiny_node(self):
+        # Multi-scale: round one (rule 2) locks E-F; the split leaves A in
+        # a sub-pair with an empty P side, so it can never match (12(b)).
+        result = msdtw(self.FIG12_P, self.FIG12_N, rules=[2.0, 5.0])
+        matched_q = {m.j for m in result.pairs}
+        assert 0 in matched_q                      # F, small rule
+        assert 2 in matched_q and 3 in matched_q   # G/H, large rule
+        assert 1 in result.unpaired_n              # A stays unpaired
+
+    def test_rounds_recorded_ascending(self):
+        # Rules are processed ascending; the recursion may end early when
+        # nothing remains to split (Alg. 3's termination).
+        p, q = coupled_nodes()
+        result = msdtw(p, q, rules=[5.0, 2.0])  # given unsorted
+        assert result.rounds[0][0] == 2.0
+        assert all(a[0] < b[0] for a, b in zip(result.rounds, result.rounds[1:]))
+
+    def test_first_round_takes_what_it_can(self):
+        p, q = coupled_nodes()
+        result = msdtw(p, q, rules=[2.0, 5.0])
+        assert result.rounds[0][1] == 6  # everything matched at scale one
+
+    def test_single_scale_equals_plain_filtered_dtw(self):
+        p, q = coupled_nodes()
+        one = msdtw(p, q, rules=[2.0])
+        two = msdtw(p, q, rules=[2.0, 2.0])  # duplicate rules collapse
+        assert [(m.i, m.j) for m in one.pairs] == [(m.i, m.j) for m in two.pairs]
+
+    def test_splitting_prevents_cross_matching(self):
+        # Without splitting, the large rule would match the stray node s
+        # to a node *across* an already-matched anchor; with MSDTW it can
+        # only match within its own sub-pair (where it has no partner).
+        p = [Point(0, 1.0), Point(10, 1.0), Point(20, 1.0)]
+        q = [Point(0, -1.0), Point(10, -1.0), Point(14, -6.0), Point(20, -1.0)]
+        result = msdtw(p, q, rules=[2.0, 9.0])
+        # The stray deep node may only pair under the 9.0 rule, and then
+        # only inside the (14) <-> () sub-pair, which is empty on P's side.
+        assert 2 in result.unpaired_n or all(
+            m.j != 2 or m.cost <= filter_threshold(9.0) for m in result.pairs
+        )
+
+
+class TestPairWrapper:
+    def test_msdtw_pair_runs(self):
+        p = Trace("x_P", Polyline([Point(0, 1), Point(50, 1)]), width=0.5)
+        n = Trace("x_N", Polyline([Point(0, -1), Point(50, -1)]), width=0.5)
+        pair = DifferentialPair("x", p, n, rule=2.0)
+        result = msdtw_pair(pair)
+        assert len(result.pairs) == 2
+        assert result.rounds

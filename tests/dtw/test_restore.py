@@ -1,0 +1,109 @@
+"""Unit tests for differential-pair restoration."""
+
+import math
+
+import pytest
+
+from repro.drc import check_segment_lengths
+from repro.dtw import convert_pair, restore_pair
+from repro.geometry import Point, Polyline
+from repro.model import DesignRules, DifferentialPair, Trace
+
+RULES = DesignRules(dgap=4.0, dobs=2.0, dprotect=1.5)
+
+
+def straight_pair(length=60.0, rule=2.0, width=0.6) -> DifferentialPair:
+    p = Trace("d_P", Polyline([Point(0, rule / 2), Point(length, rule / 2)]), width=width)
+    n = Trace("d_N", Polyline([Point(0, -rule / 2), Point(length, -rule / 2)]), width=width)
+    return DifferentialPair("d", p, n, rule=rule)
+
+
+class TestRoundTrip:
+    def test_identity_restoration(self):
+        pair = straight_pair()
+        conv = convert_pair(pair, RULES)
+        result = restore_pair(conv, conv.median, compensate=False)
+        assert result.pair.trace_p.start.almost_equals(pair.trace_p.start, 1e-6)
+        assert result.pair.trace_n.start.almost_equals(pair.trace_n.start, 1e-6)
+        assert math.isclose(result.pair.length(), pair.length(), abs_tol=1e-6)
+
+    def test_sides_not_swapped(self):
+        pair = straight_pair()
+        conv = convert_pair(pair, RULES)
+        result = restore_pair(conv, conv.median)
+        assert result.pair.trace_p.path.points[0].y > 0
+        assert result.pair.trace_n.path.points[0].y < 0
+
+    def test_meandered_median_restores_with_gap(self):
+        pair = straight_pair()
+        conv = convert_pair(pair, RULES)
+        meandered = conv.median.with_path(
+            Polyline(
+                [
+                    Point(0, 0),
+                    Point(10, 0),
+                    Point(10, 8),
+                    Point(16, 8),
+                    Point(16, 0),
+                    Point(60, 0),
+                ]
+            )
+        )
+        result = restore_pair(conv, meandered)
+        gaps = result.pair.coupling_gaps(samples=60)
+        assert min(gaps) >= 2.0 - 1e-6
+
+    def test_pattern_preserves_skew(self):
+        pair = straight_pair()
+        conv = convert_pair(pair, RULES)
+        meandered = conv.median.with_path(
+            Polyline(
+                [
+                    Point(0, 0),
+                    Point(10, 0),
+                    Point(10, 8),
+                    Point(16, 8),
+                    Point(16, 0),
+                    Point(60, 0),
+                ]
+            )
+        )
+        result = restore_pair(conv, meandered, compensate=False)
+        assert result.skew_before <= 1e-9  # turns cancel around a pattern
+
+
+class TestCompensation:
+    def bent_median(self, conv):
+        # A single bend creates real skew between the offset curves.
+        return conv.median.with_path(
+            Polyline([Point(0, 0), Point(30, 0), Point(52, 22)])
+        )
+
+    def test_skew_compensated(self):
+        pair = straight_pair()
+        conv = convert_pair(pair, RULES)
+        result = restore_pair(conv, self.bent_median(conv), min_bump_width=1.5)
+        assert result.skew_before > 0.1
+        assert result.skew_after <= 1e-6
+        assert result.compensated_trace is not None
+
+    def test_compensation_bump_respects_dprotect(self):
+        pair = straight_pair()
+        conv = convert_pair(pair, RULES)
+        result = restore_pair(conv, self.bent_median(conv), min_bump_width=1.5)
+        for trace in (result.pair.trace_p, result.pair.trace_n):
+            assert check_segment_lengths(trace, RULES).is_clean()
+
+    def test_bump_bends_away_from_sibling(self):
+        pair = straight_pair()
+        conv = convert_pair(pair, RULES)
+        result = restore_pair(conv, self.bent_median(conv), min_bump_width=1.5)
+        gaps = result.pair.coupling_gaps(samples=80)
+        assert min(gaps) >= 2.0 - 1e-6
+
+    def test_no_compensation_when_disabled(self):
+        pair = straight_pair()
+        conv = convert_pair(pair, RULES)
+        result = restore_pair(conv, self.bent_median(conv), compensate=False)
+        assert result.skew_after == result.skew_before
+        assert result.compensated_trace is None

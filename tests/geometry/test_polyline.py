@@ -1,0 +1,160 @@
+"""Unit tests for repro.geometry.polyline."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Point, Polyline, polyline_from_pairs
+
+
+def line(*pairs) -> Polyline:
+    return polyline_from_pairs(pairs)
+
+
+class TestConstruction:
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            Polyline([Point(0, 0)])
+
+    def test_from_pairs(self):
+        l = line((0, 0), (1, 0))
+        assert l.start == Point(0, 0) and l.end == Point(1, 0)
+
+    def test_len(self):
+        assert len(line((0, 0), (1, 0), (2, 0))) == 3
+
+    def test_immutable_points_tuple(self):
+        l = line((0, 0), (1, 0))
+        assert isinstance(l.points, tuple)
+
+
+class TestMeasures:
+    def test_length_straight(self):
+        assert line((0, 0), (10, 0)).length() == 10
+
+    def test_length_bent(self):
+        assert line((0, 0), (3, 0), (3, 4)).length() == 7
+
+    def test_bounds(self):
+        assert line((0, 1), (5, -2), (3, 7)).bounds() == (0, -2, 5, 7)
+
+    def test_min_segment_length(self):
+        assert line((0, 0), (1, 0), (5, 0)).min_segment_length() == 1
+
+    def test_segments_count(self):
+        assert len(line((0, 0), (1, 0), (2, 1)).segments()) == 2
+
+    def test_segment_indexing(self):
+        s = line((0, 0), (1, 0), (2, 1)).segment(1)
+        assert s.a == Point(1, 0) and s.b == Point(2, 1)
+
+
+class TestArcLength:
+    def test_start(self):
+        assert line((0, 0), (10, 0)).point_at_arclength(0) == Point(0, 0)
+
+    def test_middle(self):
+        assert line((0, 0), (10, 0)).point_at_arclength(4).almost_equals(Point(4, 0))
+
+    def test_across_corner(self):
+        p = line((0, 0), (5, 0), (5, 5)).point_at_arclength(7)
+        assert p.almost_equals(Point(5, 2))
+
+    def test_clamps_beyond_end(self):
+        assert line((0, 0), (10, 0)).point_at_arclength(99).almost_equals(Point(10, 0))
+
+    def test_negative_clamps_to_start(self):
+        assert line((0, 0), (10, 0)).point_at_arclength(-1) == Point(0, 0)
+
+
+class TestEdits:
+    def test_replace_segment_inserts_detour(self):
+        l = line((0, 0), (10, 0))
+        chain = [Point(0, 0), Point(4, 0), Point(4, 3), Point(6, 3), Point(6, 0), Point(10, 0)]
+        out = l.replace_segment(0, chain)
+        assert out.length() == 16
+        assert out.start == l.start and out.end == l.end
+
+    def test_replace_segment_validates_start(self):
+        l = line((0, 0), (10, 0))
+        with pytest.raises(ValueError):
+            l.replace_segment(0, [Point(1, 0), Point(10, 0)])
+
+    def test_replace_segment_validates_end(self):
+        l = line((0, 0), (10, 0))
+        with pytest.raises(ValueError):
+            l.replace_segment(0, [Point(0, 0), Point(9, 0)])
+
+    def test_replace_middle_segment(self):
+        l = line((0, 0), (5, 0), (10, 0), (15, 0))
+        chain = [Point(5, 0), Point(5, 2), Point(10, 2), Point(10, 0)]
+        out = l.replace_segment(1, chain)
+        assert out.length() == l.length() + 4
+
+    def test_translated(self):
+        out = line((0, 0), (1, 1)).translated(Point(5, -1))
+        assert out.start == Point(5, -1) and out.end == Point(6, 0)
+
+    def test_reversed(self):
+        out = line((0, 0), (1, 0), (2, 2)).reversed()
+        assert out.start == Point(2, 2) and out.end == Point(0, 0)
+
+
+class TestSimplify:
+    def test_removes_duplicates(self):
+        l = Polyline([Point(0, 0), Point(0, 0), Point(5, 0)])
+        assert len(l.simplified()) == 2
+
+    def test_merges_collinear(self):
+        l = line((0, 0), (3, 0), (7, 0), (10, 0))
+        assert len(l.simplified()) == 2
+
+    def test_keeps_corners(self):
+        l = line((0, 0), (5, 0), (5, 5))
+        assert len(l.simplified()) == 3
+
+    def test_preserves_length_of_forward_chain(self):
+        l = line((0, 0), (2, 0), (4, 0), (4, 3), (4, 6))
+        s = l.simplified()
+        assert math.isclose(s.length(), l.length())
+
+    def test_endpoints_kept(self):
+        l = line((0, 0), (1, 0), (2, 0))
+        s = l.simplified()
+        assert s.start == l.start and s.end == l.end
+
+
+class TestNodeAngles:
+    def test_straight_is_pi(self):
+        angles = line((0, 0), (1, 0), (2, 0)).node_angles()
+        assert math.isclose(angles[0], math.pi)
+
+    def test_right_angle(self):
+        angles = line((0, 0), (1, 0), (1, 1)).node_angles()
+        assert math.isclose(angles[0], math.pi / 2)
+
+    def test_count(self):
+        assert len(line((0, 0), (1, 0), (2, 1), (3, 1)).node_angles()) == 2
+
+
+coords = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
+
+
+class TestPolylineProperties:
+    @given(st.lists(st.tuples(coords, coords), min_size=2, max_size=12))
+    def test_length_is_sum_of_segments(self, pts):
+        l = polyline_from_pairs(pts)
+        assert math.isclose(
+            l.length(), sum(s.length() for s in l.segments()), rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    @given(st.lists(st.tuples(coords, coords), min_size=2, max_size=12))
+    def test_reverse_preserves_length(self, pts):
+        l = polyline_from_pairs(pts)
+        assert math.isclose(l.length(), l.reversed().length(), rel_tol=1e-12, abs_tol=1e-9)
+
+    @given(st.lists(st.tuples(coords, coords), min_size=2, max_size=12))
+    def test_simplify_never_lengthens(self, pts):
+        l = polyline_from_pairs(pts)
+        assert l.simplified().length() <= l.length() + 1e-6

@@ -1,0 +1,84 @@
+"""Unit tests for matching groups and the Eq. 19 error metrics."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, Polyline
+from repro.model import DifferentialPair, MatchGroup, Trace
+
+
+def trace(name: str, length: float) -> Trace:
+    return Trace(name, Polyline([Point(0, 0), Point(length, 0)]), width=1.0)
+
+
+class TestMembership:
+    def test_add_and_len(self):
+        g = MatchGroup("g")
+        g.add(trace("a", 10))
+        assert len(g) == 1
+
+    def test_traces_vs_pairs_split(self):
+        g = MatchGroup("g")
+        g.add(trace("a", 10))
+        p = Trace("d_P", Polyline([Point(0, 1), Point(10, 1)]), width=0.5)
+        n = Trace("d_N", Polyline([Point(0, -1), Point(10, -1)]), width=0.5)
+        g.add(DifferentialPair("d", p, n, rule=2.0))
+        assert len(g.traces()) == 1 and len(g.pairs()) == 1
+
+    def test_validates_tolerance(self):
+        with pytest.raises(ValueError):
+            MatchGroup("g", tolerance=0)
+
+
+class TestTarget:
+    def test_defaults_to_longest(self):
+        g = MatchGroup("g", members=[trace("a", 10), trace("b", 14)])
+        assert g.resolved_target() == 14
+
+    def test_explicit_target(self):
+        g = MatchGroup("g", members=[trace("a", 10)], target_length=20)
+        assert g.resolved_target() == 20
+
+    def test_target_below_longest_rejected(self):
+        g = MatchGroup("g", members=[trace("a", 10)], target_length=5)
+        with pytest.raises(ValueError):
+            g.resolved_target()
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            MatchGroup("g").resolved_target()
+
+    def test_pair_length_used(self):
+        p = Trace("d_P", Polyline([Point(0, 1), Point(12, 1)]), width=0.5)
+        n = Trace("d_N", Polyline([Point(0, -1), Point(12, -1)]), width=0.5)
+        g = MatchGroup("g", members=[DifferentialPair("d", p, n, rule=2.0)])
+        assert g.resolved_target() == 12
+
+
+class TestErrors:
+    def test_max_error(self):
+        g = MatchGroup("g", members=[trace("a", 80), trace("b", 100)])
+        assert math.isclose(g.max_error(100), 0.2)
+
+    def test_avg_error(self):
+        g = MatchGroup("g", members=[trace("a", 80), trace("b", 100)])
+        assert math.isclose(g.avg_error(100), 0.1)
+
+    def test_errors_use_resolved_target(self):
+        g = MatchGroup("g", members=[trace("a", 80), trace("b", 100)])
+        assert math.isclose(g.max_error(), 0.2)
+
+    def test_matched_within_tolerance(self):
+        g = MatchGroup(
+            "g", members=[trace("a", 99.9995), trace("b", 100)], tolerance=1e-3
+        )
+        assert g.is_matched(100)
+
+    def test_not_matched(self):
+        g = MatchGroup("g", members=[trace("a", 95), trace("b", 100)])
+        assert not g.is_matched(100)
+
+    def test_lengths(self):
+        g = MatchGroup("g", members=[trace("a", 1), trace("b", 2)])
+        assert g.lengths() == [1, 2]

@@ -1,0 +1,74 @@
+"""Unit tests for traces."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, Polyline
+from repro.model import Trace
+
+
+@pytest.fixture
+def bent() -> Trace:
+    return Trace("t", Polyline([Point(0, 0), Point(3, 0), Point(3, 4)]), width=1.0)
+
+
+class TestTrace:
+    def test_length(self, bent):
+        assert bent.length() == 7
+
+    def test_validates_width(self):
+        with pytest.raises(ValueError):
+            Trace("t", Polyline([Point(0, 0), Point(1, 0)]), width=0)
+
+    def test_endpoints(self, bent):
+        assert bent.start == Point(0, 0) and bent.end == Point(3, 4)
+
+    def test_segments(self, bent):
+        assert len(bent.segments()) == 2
+
+    def test_with_path_keeps_identity(self, bent):
+        new = bent.with_path(Polyline([Point(0, 0), Point(10, 0)]))
+        assert new.name == bent.name and new.width == bent.width
+        assert new.length() == 10
+
+    def test_immutable(self, bent):
+        with pytest.raises(Exception):
+            bent.width = 3
+
+
+class TestBodyPolygons:
+    def test_one_polygon_per_segment(self, bent):
+        assert len(bent.body_polygons()) == 2
+
+    def test_body_covers_centerline(self, bent):
+        polys = bent.body_polygons()
+        assert polys[0].contains_point(Point(1.5, 0))
+
+    def test_body_width(self, bent):
+        poly = bent.body_polygons()[0]
+        assert poly.contains_point(Point(1.5, 0.49))
+        assert not poly.contains_point(Point(1.5, 0.51))
+
+    def test_clearance_polygons_wider(self, bent):
+        poly = bent.clearance_polygons(2.0)[0]
+        assert poly.contains_point(Point(1.5, 2.4))
+        assert not poly.contains_point(Point(1.5, 2.6))
+
+    def test_degenerate_segments_skipped(self):
+        t = Trace(
+            "t", Polyline([Point(0, 0), Point(0, 0), Point(5, 0)]), width=1.0
+        )
+        assert len(t.body_polygons()) == 1
+
+
+class TestEndpointsMatch:
+    def test_same_endpoints(self, bent):
+        meandered = bent.with_path(
+            Polyline([Point(0, 0), Point(1, 0), Point(1, 2), Point(3, 2), Point(3, 4)])
+        )
+        assert bent.endpoints_match(meandered)
+
+    def test_moved_endpoint_detected(self, bent):
+        moved = bent.with_path(Polyline([Point(0, 0.1), Point(3, 4)]))
+        assert not bent.endpoints_match(moved)

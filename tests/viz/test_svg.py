@@ -1,0 +1,82 @@
+"""Unit tests for the SVG renderer."""
+
+import os
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.geometry import Point, Polyline, rectangle
+from repro.model import Board, DesignRules, DifferentialPair, Trace, via
+from repro.viz import SvgCanvas, canvas_for_board, color_for, render_board
+
+
+def small_board() -> Board:
+    board = Board.with_rect_outline(0, 0, 50, 30, DesignRules(dgap=4))
+    board.add_trace(Trace("t", Polyline([Point(5, 10), Point(45, 10)]), width=1.0))
+    board.add_obstacle(via(Point(25, 20), 2.0))
+    p = Trace("d_P", Polyline([Point(5, 24), Point(45, 24)]), width=0.5)
+    n = Trace("d_N", Polyline([Point(5, 22), Point(45, 22)]), width=0.5)
+    board.add_pair(DifferentialPair("d", p, n, rule=2.0))
+    return board
+
+
+class TestCanvas:
+    def test_valid_xml(self):
+        canvas = SvgCanvas(0, 0, 10, 10)
+        canvas.polyline(Polyline([Point(0, 0), Point(5, 5)]))
+        canvas.polygon(rectangle(1, 1, 3, 3))
+        canvas.circle(Point(5, 5), 1.0)
+        canvas.text(Point(2, 8), "label <&>")
+        ET.fromstring(canvas.to_svg())  # raises on malformed XML
+
+    def test_y_axis_flipped(self):
+        canvas = SvgCanvas(0, 0, 10, 10, scale=1.0, margin=0.0)
+        low = canvas._map(Point(0, 0))
+        high = canvas._map(Point(0, 10))
+        assert high[1] < low[1]  # larger board-y maps to smaller svg-y
+
+    def test_save_writes_file(self, tmp_path):
+        canvas = SvgCanvas(0, 0, 10, 10)
+        path = canvas.save(str(tmp_path / "x.svg"))
+        assert os.path.exists(path)
+
+    def test_text_escaped(self):
+        canvas = SvgCanvas(0, 0, 10, 10)
+        canvas.text(Point(0, 0), "<script>")
+        assert "<script>" not in canvas.to_svg()
+
+    def test_color_palette_cycles(self):
+        assert color_for(0) != color_for(1)
+        assert color_for(0) == color_for(10)
+
+
+class TestRenderBoard:
+    def test_renders_all_elements(self):
+        svg = render_board(small_board())
+        root = ET.fromstring(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        polylines = root.findall(f"{ns}polyline")
+        polygons = root.findall(f"{ns}polygon")
+        assert len(polylines) == 3  # trace + two pair sub-traces
+        assert len(polygons) >= 2   # outline + via
+
+    def test_reference_layer_drawn(self):
+        board = small_board()
+        ref = {"t": board.traces[0].path}
+        svg = render_board(board, reference=ref)
+        assert "stroke-dasharray" in svg
+
+    def test_show_areas(self):
+        board = small_board()
+        board.set_routable_area("t", rectangle(0, 0, 50, 15))
+        svg = render_board(board, show_areas=True)
+        assert "#f2f2d0" in svg
+
+    def test_writes_file(self, tmp_path):
+        path = str(tmp_path / "board.svg")
+        render_board(small_board(), path=path)
+        assert os.path.getsize(path) > 100
+
+    def test_canvas_for_board_bounds(self):
+        canvas = canvas_for_board(small_board())
+        assert canvas.xmax == 50 and canvas.ymax == 30
