@@ -11,14 +11,11 @@ Run:  python examples/any_direction_routing.py
 import math
 
 from repro import (
-    Board,
     DesignRules,
-    LengthMatchingRouter,
-    MatchGroup,
     Point,
     Polyline,
+    RoutingSession,
     Trace,
-    check_board,
     render_board,
 )
 from repro.bench import make_any_direction_design
@@ -28,12 +25,13 @@ from repro.geometry import rectangle, rotation_about
 
 def fanout_demo() -> None:
     board = make_any_direction_design()
-    report = LengthMatchingRouter(board).match_group(board.groups[0])
+    result = RoutingSession(board).run()
+    report = result.groups[0]
     print("fan-out group (17/33/56 degrees):")
     for m in report.members:
         print(f"  {m.name}: {m.length_before:.2f} -> {m.length_after:.4f}")
     print(f"  max error {report.max_error() * 100:.4f}%  "
-          f"DRC {'clean' if check_board(board).is_clean() else 'VIOLATED'}")
+          f"DRC {'clean' if result.drc.is_clean() else 'VIOLATED'}")
     render_board(board, path="any_direction_fanout.svg")
     print("  wrote any_direction_fanout.svg")
 

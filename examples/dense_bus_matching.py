@@ -10,7 +10,7 @@ Run:  python examples/dense_bus_matching.py
 
 import time
 
-from repro import AiDTProxy, LengthMatchingRouter, check_board, render_board
+from repro import AiDTProxy, RoutingSession, render_board
 from repro.bench import make_table1_case
 from repro.bench.metrics import avg_error_pct, max_error_pct
 
@@ -33,13 +33,16 @@ def main() -> None:
     print(f"  AiDT proxy    : max {aidt_report.max_error() * 100:.2f}%  "
           f"avg {aidt_report.avg_error() * 100:.2f}%  ({aidt_time:.2f} s)")
 
-    t0 = time.perf_counter()
-    ours_report = LengthMatchingRouter(board_ours).match_group(group)
-    ours_time = time.perf_counter() - t0
+    # The session runs matching and the DRC gate as one pipeline; the
+    # per-stage timings come back on the RunResult.  (Region assignment
+    # skips itself: Table I boards carve their own corridors.)
+    result = RoutingSession(board_ours).run()
+    ours_report = result.groups[0]
+    ours_time = result.stage("match").runtime
     print(f"  DP (ours)     : max {ours_report.max_error() * 100:.2f}%  "
           f"avg {ours_report.avg_error() * 100:.2f}%  ({ours_time:.2f} s)")
 
-    drc = check_board(board_ours)
+    drc = result.drc
     print(f"  DRC after ours: {'clean' if drc.is_clean() else drc}")
 
     render_board(board_ours, path="dense_bus_ours.svg", show_areas=True)

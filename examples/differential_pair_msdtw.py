@@ -4,7 +4,7 @@ the median trace, restore the pair (the paper's Sec. V / Fig. 16).
 Run:  python examples/differential_pair_msdtw.py
 """
 
-from repro import Board, LengthMatchingRouter, check_board, render_board
+from repro import Board, RoutingSession, render_board
 from repro.bench import make_msdtw_case
 from repro.dtw import convert_pair, msdtw_pair
 
@@ -36,13 +36,13 @@ def main() -> None:
 
     # Step 3 — full pipeline through the router (merge, meander, restore,
     # compensate).
-    report = LengthMatchingRouter(board).match_group(board.groups[0])
-    member = report.members[0]
+    result = RoutingSession(board).run()
+    member = result.groups[0].members[0]
     print(f"  matched to {member.target}: final length {member.length_after:.4f} "
           f"(error {member.error() * 100:.4f}%)")
     restored = board.pairs[0]
     print(f"  restored skew: {restored.skew():.2e}")
-    drc = check_board(board)
+    drc = result.drc
     print(f"  DRC: {'clean' if drc.is_clean() else drc}")
 
     render_board(board, path="msdtw_restored.svg")

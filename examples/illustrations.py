@@ -4,7 +4,8 @@ Produces SVGs for:
   * URA construction and shrinking (Figs. 6-8),
   * the four DP state transitions (Fig. 3),
   * DTW node matching on imperfectly coupled sub-traces (Fig. 10),
-  * region assignment cells (Sec. III).
+  * region assignment cells (Sec. III),
+  * the full Fig. 2 pipeline via RoutingSession (areas + meanders).
 
 Run:  python examples/illustrations.py
 """
@@ -84,6 +85,23 @@ def dtw_matching() -> None:
     canvas.save(os.path.join(OUT, "dtw_matching.svg"))
 
 
+def pipeline_overview() -> None:
+    """The Fig. 2 flow end-to-end: session-assigned areas + meanders."""
+    from repro import Board, DesignRules, MatchGroup, RoutingSession, Trace, render_board
+
+    board = Board.with_rect_outline(0, 0, 80, 50, DesignRules(dgap=4, dobs=2, dprotect=2))
+    board.name = "pipeline_overview"
+    t0 = board.add_trace(Trace("t0", Polyline([Point(5, 15), Point(75, 15)]), width=1.0))
+    t1 = board.add_trace(Trace("t1", Polyline([Point(5, 35), Point(75, 35)]), width=1.0))
+    board.add_group(MatchGroup("g", members=[t0, t1], target_length=100.0))
+
+    result = RoutingSession(board).run()
+    render_board(
+        board, path=os.path.join(OUT, "pipeline_overview.svg"), show_areas=True
+    )
+    print(result.summary())
+
+
 def region_cells() -> None:
     """Region assignment: grid cells coloured by owner."""
     from repro.model import Board, DesignRules, Trace
@@ -112,4 +130,5 @@ if __name__ == "__main__":
     dp_transitions()
     dtw_matching()
     region_cells()
-    print(f"wrote 4 illustrations under {OUT}/")
+    pipeline_overview()
+    print(f"wrote 5 illustrations under {OUT}/")

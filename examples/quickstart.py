@@ -1,17 +1,20 @@
 """Quickstart: match a small bus of three traces to a common length.
 
+Runs the full pipeline (region assignment -> DP length matching -> DRC)
+through the unified :class:`repro.RoutingSession` API and saves the
+structured run artifact as JSON.
+
 Run:  python examples/quickstart.py
 """
 
 from repro import (
     Board,
     DesignRules,
-    LengthMatchingRouter,
     MatchGroup,
     Point,
     Polyline,
+    RoutingSession,
     Trace,
-    check_board,
     render_board,
 )
 
@@ -20,6 +23,7 @@ def main() -> None:
     # A 120 x 80 board with the four DRC distances of the paper's Fig. 1.
     rules = DesignRules(dgap=4.0, dobs=2.0, dprotect=2.0)
     board = Board.with_rect_outline(0.0, 0.0, 120.0, 80.0, rules)
+    board.name = "quickstart"
 
     # Three already-routed signals of different lengths.
     group = MatchGroup("bus0", target_length=130.0)
@@ -34,8 +38,10 @@ def main() -> None:
         group.add(trace)
     board.add_group(group)
 
-    # Length-match the group: every trace is meandered to 130.0.
-    report = LengthMatchingRouter(board).match_group(group)
+    # One call runs region assignment, DP matching and the DRC gate, and
+    # returns a structured, JSON-serialisable RunResult.
+    result = RoutingSession(board).run()
+    report = result.groups[0]
 
     print(f"group target      : {report.target:.3f}")
     print(f"initial max error : {report.initial_max_error() * 100:.2f}%")
@@ -47,8 +53,9 @@ def main() -> None:
             f"{member.runtime * 1e3:.1f} ms)"
         )
 
-    drc = check_board(board)
-    print(f"DRC               : {'clean' if drc.is_clean() else drc}")
+    print(result.summary())
+    result.save("quickstart_result.json")
+    print("wrote quickstart_result.json")
 
     out = render_board(board, path="quickstart_result.svg")
     print(f"wrote quickstart_result.svg ({len(out)} bytes)")

@@ -11,19 +11,35 @@ built as a standalone library:
 * :mod:`repro.core` — Sec. IV's DP-based segment extension and the router;
 * :mod:`repro.dtw` — Sec. V's MSDTW differential-pair handling;
 * :mod:`repro.viz` — SVG rendering;
-* :mod:`repro.bench` — designs, metrics and the table/figure harness.
+* :mod:`repro.bench` — designs, metrics and the table/figure harness;
+* :mod:`repro.api` — the unified pipeline: sessions, stages, run results.
 
 Quickstart::
 
     from repro import Board, DesignRules, MatchGroup, Trace, Polyline, Point
-    from repro import LengthMatchingRouter
+    from repro import RoutingSession
 
     board = Board.with_rect_outline(0, 0, 100, 60, DesignRules(dgap=4))
     t = board.add_trace(Trace("sig0", Polyline([Point(5, 10), Point(95, 10)])))
-    group = MatchGroup("bus", members=[t], target_length=120.0)
-    board.add_group(group)
-    report = LengthMatchingRouter(board).match_group(group)
-    print(report.max_error())
+    board.add_group(MatchGroup("bus", members=[t], target_length=120.0))
+
+    result = RoutingSession(board).run()   # region -> match -> DRC
+    print(result.summary())
+    result.save("result.json")             # JSON round-trip via repro.io
+
+Presets and stages are pluggable::
+
+    from repro import SessionConfig
+    result = RoutingSession(board, config="quality").run()
+    result = RoutingSession(board, config=SessionConfig(tolerance=1e-2)).run()
+
+The same pipeline is scriptable from the shell::
+
+    python -m repro route board.json --preset quality --out result.json
+
+The pre-session surface (:class:`LengthMatchingRouter`,
+:func:`assign_regions`, :func:`check_board`, ...) remains available for
+surgical use.
 """
 
 from .geometry import Point, Polygon, Polyline, Segment
@@ -53,9 +69,31 @@ from .core import (
 from .dtw import MSDTWResult, convert_pair, msdtw, restore_pair
 from .region import Assignment, assign_regions, apply_assignment
 from .viz import render_board
-from .io import board_from_json, board_to_json, load_board, save_board
+from .api import (
+    DrcConfig,
+    DrcVerifyStage,
+    LengthMatchingStage,
+    RegionAssignmentStage,
+    RegionConfig,
+    RoutingSession,
+    RunResult,
+    SessionConfig,
+    Stage,
+    StageRecord,
+    default_stages,
+)
+from .io import (
+    board_from_json,
+    board_to_json,
+    load_board,
+    load_result,
+    result_from_json,
+    result_to_json,
+    save_board,
+    save_result,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Point",
@@ -92,9 +130,24 @@ __all__ = [
     "assign_regions",
     "apply_assignment",
     "render_board",
+    "DrcConfig",
+    "DrcVerifyStage",
+    "LengthMatchingStage",
+    "RegionAssignmentStage",
+    "RegionConfig",
+    "RoutingSession",
+    "RunResult",
+    "SessionConfig",
+    "Stage",
+    "StageRecord",
+    "default_stages",
     "board_from_json",
     "board_to_json",
     "load_board",
+    "load_result",
+    "result_from_json",
+    "result_to_json",
     "save_board",
+    "save_result",
     "__version__",
 ]

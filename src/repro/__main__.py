@@ -1,15 +1,17 @@
 """Command-line entry point: ``python -m repro <command>``.
 
-Thin wrapper over the benchmark harness so the evaluation regenerates
-without writing any code:
+See :mod:`repro.cli` for the subcommands:
 
-    python -m repro table1
-    python -m repro table2
-    python -m repro figures --outdir out
-    python -m repro all
+    python -m repro route board.json --preset quality --out result.json
+    python -m repro check board.json
+    python -m repro render board.json -o board.svg
+    python -m repro bench table1 --cases 1 --json
+
+The pre-redesign invocations (``python -m repro table1`` etc.) still
+work as aliases for ``bench``.
 """
 
-from .bench.harness import main
+from .cli import main
 
 if __name__ == "__main__":
     raise SystemExit(main())

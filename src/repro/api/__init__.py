@@ -1,0 +1,42 @@
+"""The unified pipeline API: sessions, stages, configs, run artifacts.
+
+This is the package's stable entry point (see :class:`RoutingSession`);
+the lower-level modules (:mod:`repro.core`, :mod:`repro.region`,
+:mod:`repro.drc`) remain importable for surgical use.
+"""
+
+from .config import DrcConfig, RegionConfig, SessionConfig
+from .result import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    RunResult,
+    StageRecord,
+)
+from .stages import (
+    DrcVerifyStage,
+    LengthMatchingStage,
+    RegionAssignmentStage,
+    Stage,
+    StageFailure,
+    default_stages,
+)
+from .session import RoutingSession
+
+__all__ = [
+    "DrcConfig",
+    "RegionConfig",
+    "SessionConfig",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_SKIPPED",
+    "RunResult",
+    "StageRecord",
+    "DrcVerifyStage",
+    "LengthMatchingStage",
+    "RegionAssignmentStage",
+    "Stage",
+    "StageFailure",
+    "default_stages",
+    "RoutingSession",
+]

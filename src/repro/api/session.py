@@ -1,0 +1,127 @@
+"""The unified pipeline entry point.
+
+``RoutingSession`` owns a board plus one :class:`SessionConfig` and runs
+an explicit stage pipeline over it — by default region assignment →
+length matching → DRC verification, the paper's Fig. 2 flow.  Each run
+emits a structured :class:`~repro.api.result.RunResult` that serialises
+to JSON via :mod:`repro.io`.
+
+Quickstart::
+
+    from repro import RoutingSession
+
+    result = RoutingSession(board).run()
+    print(result.summary())
+    result.save("result.json")
+
+Observers hook member- and stage-level progress without subclassing::
+
+    RoutingSession(
+        board,
+        on_stage_start=lambda session, stage: print("->", stage.name),
+        on_member_done=lambda session, report: print("  ", report.name),
+    ).run()
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, List, Optional, Sequence, Union
+
+from ..core import MemberReport
+from ..model import Board
+from .config import SessionConfig
+from .result import RunResult, StageRecord
+from .stages import Stage, default_stages
+
+#: ``on_stage_start(session, stage)`` / ``on_stage_end(session, record)``.
+StageStartObserver = Callable[["RoutingSession", Stage], None]
+StageEndObserver = Callable[["RoutingSession", StageRecord], None]
+#: ``on_member_done(session, member_report)``.
+MemberObserver = Callable[["RoutingSession", MemberReport], None]
+
+
+class RoutingSession:
+    """One board, one config, one pluggable pipeline.
+
+    ``config`` accepts a :class:`SessionConfig` or a preset name
+    (``"fast"``, ``"quality"``, ``"paper"``, ...).  ``stages`` replaces
+    the default pipeline wholesale; use :func:`~repro.api.default_stages`
+    as the starting point when inserting a custom stage.
+    """
+
+    def __init__(
+        self,
+        board: Board,
+        config: Union[SessionConfig, str, None] = None,
+        stages: Optional[Sequence[Stage]] = None,
+        on_stage_start: Optional[StageStartObserver] = None,
+        on_stage_end: Optional[StageEndObserver] = None,
+        on_member_done: Optional[MemberObserver] = None,
+    ) -> None:
+        self.board = board
+        if isinstance(config, str):
+            config = SessionConfig.preset(config)
+        self.config = config or SessionConfig()
+        self.stages: List[Stage] = list(stages) if stages is not None else default_stages()
+        self.on_stage_start = on_stage_start
+        self.on_stage_end = on_stage_end
+        self.on_member_done = on_member_done
+
+    # -- observer plumbing (called by stages) --------------------------------
+
+    def notify_member_done(self, report: MemberReport) -> None:
+        """Forward one finished member to the observer, if any."""
+        if self.on_member_done is not None:
+            self.on_member_done(self, report)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute every stage in order against the board.
+
+        The board is mutated in place (meanders are spliced in, routable
+        areas stored); the returned :class:`RunResult` is the structured
+        record of what happened.  A stage whose config marks failures
+        ``strict`` may raise :class:`~repro.api.stages.StageFailure`.
+        """
+        result = RunResult(board=self.board.name, config=self.config.to_dict())
+        started = time.perf_counter()
+        for stage in self.stages:
+            if self.on_stage_start is not None:
+                self.on_stage_start(self, stage)
+            stage_started = time.perf_counter()
+            record = stage.run(self, result)
+            record.runtime = time.perf_counter() - stage_started
+            result.stages.append(record)
+            if self.on_stage_end is not None:
+                self.on_stage_end(self, record)
+        result.runtime = time.perf_counter() - started
+        return result
+
+    @classmethod
+    def run_many(
+        cls,
+        boards: Iterable[Board],
+        config: Union[SessionConfig, str, None] = None,
+        stages: Optional[Sequence[Stage]] = None,
+        on_stage_start: Optional[StageStartObserver] = None,
+        on_stage_end: Optional[StageEndObserver] = None,
+        on_member_done: Optional[MemberObserver] = None,
+    ) -> List[RunResult]:
+        """Route a batch of boards with one shared config.
+
+        Each board gets its own session (stage instances are shared —
+        the built-ins are stateless); results come back in input order.
+        """
+        return [
+            cls(
+                board,
+                config=config,
+                stages=stages,
+                on_stage_start=on_stage_start,
+                on_stage_end=on_stage_end,
+                on_member_done=on_member_done,
+            ).run()
+            for board in boards
+        ]

@@ -11,11 +11,11 @@ import os
 import time
 from typing import Dict, List, Optional, Sequence
 
+from ..api import RoutingSession, SessionConfig
 from ..core import (
     AiDTProxy,
     ExtensionConfig,
     FixedTrackMeander,
-    LengthMatchingRouter,
     TraceExtender,
 )
 from ..dtw import convert_pair, restore_pair
@@ -44,6 +44,13 @@ from .metrics import (
 # -- Table I --------------------------------------------------------------------------
 
 
+def _bench_session(board) -> RoutingSession:
+    """A matching-only session: Table boards carve their own corridors,
+    and the harness times the DRC separately — the ``bench`` preset keeps
+    engine timings comparable to the paper's."""
+    return RoutingSession(board, config=SessionConfig.preset("bench"))
+
+
 def run_table1(
     cases: Optional[Sequence[int]] = None, verbose: bool = True
 ) -> List[Table1Row]:
@@ -65,9 +72,9 @@ def run_table1(
         aidt_report = AiDTProxy(board_aidt).match_group(board_aidt.groups[0])
         aidt_runtime = time.perf_counter() - t0
 
-        t0 = time.perf_counter()
-        ours_report = LengthMatchingRouter(board_ours).match_group(group_ours)
-        ours_runtime = time.perf_counter() - t0
+        result = _bench_session(board_ours).run()
+        ours_report = result.groups[0]
+        ours_runtime = result.stage("match").runtime
 
         rows.append(
             Table1Row(
@@ -144,25 +151,30 @@ def _table2_upper_bound(dgap: float, use_dp: bool) -> float:
 
 
 def run_figures(outdir: str = "out", verbose: bool = True) -> Dict[str, str]:
-    """Regenerate the display figures (Figs. 14-16) as SVGs."""
+    """Regenerate the display figures (Figs. 14-16) as SVGs.
+
+    Returns figure name -> written file path (what ``bench figures
+    --json`` emits, so consumers can locate the artifacts).
+    """
     os.makedirs(outdir, exist_ok=True)
     produced: Dict[str, str] = {}
+
+    def emit(key: str, board: Board, **render_kwargs) -> None:
+        path = os.path.join(outdir, f"{key}.svg")
+        render_board(board, path, **render_kwargs)
+        produced[key] = path
 
     # Fig. 14(a): a Table I dense case, before (dashed) and after.
     board, _ = make_table1_case(1)
     reference = {t.name: t.path for t in board.traces}
-    LengthMatchingRouter(board).match_group(board.groups[0])
-    produced["fig14a"] = render_board(
-        board, os.path.join(outdir, "fig14a.svg"), reference=reference
-    )
+    _bench_session(board).run()
+    emit("fig14a", board, reference=reference)
 
     # Fig. 14(b): any-direction functionality.
     board = make_any_direction_design()
     reference = {t.name: t.path for t in board.traces}
-    LengthMatchingRouter(board).match_group(board.groups[0])
-    produced["fig14b"] = render_board(
-        board, os.path.join(outdir, "fig14b.svg"), reference=reference
-    )
+    _bench_session(board).run()
+    emit("fig14b", board, reference=reference)
 
     # Fig. 15: Table II cases 1, 5, 6 with and without DP.
     for case_idx in (1, 5, 6):
@@ -173,10 +185,9 @@ def run_figures(outdir: str = "out", verbose: bool = True) -> Dict[str, str]:
             result = extender.extension_upper_bound(trace)
             board.replace_trace(result.trace)
             tag = "dp" if use_dp else "nodp"
-            key = f"fig15_case{case_idx}_{tag}"
-            produced[key] = render_board(
+            emit(
+                f"fig15_case{case_idx}_{tag}",
                 board,
-                os.path.join(outdir, f"{key}.svg"),
                 reference={trace.name: trace.path},
             )
 
@@ -191,7 +202,7 @@ def run_figures(outdir: str = "out", verbose: bool = True) -> Dict[str, str]:
         pairs=[pair],
         obstacles=board.obstacles,
     )
-    produced["fig16a"] = render_board(merged, os.path.join(outdir, "fig16a.svg"))
+    emit("fig16a", merged)
 
     restoration = restore_pair(conversion, conversion.median)
     restored = Board(
@@ -201,15 +212,49 @@ def run_figures(outdir: str = "out", verbose: bool = True) -> Dict[str, str]:
         pairs=[restoration.pair],
         obstacles=board.obstacles,
     )
-    produced["fig16b"] = render_board(restored, os.path.join(outdir, "fig16b.svg"))
+    emit("fig16b", restored)
 
     if verbose:
-        for name, _ in sorted(produced.items()):
-            print(f"wrote {os.path.join(outdir, name)}.svg")
+        for _, path in sorted(produced.items()):
+            print(f"wrote {path}")
     return produced
 
 
+def run_bench(
+    what: str,
+    outdir: str = "out",
+    cases: Optional[Sequence[int]] = None,
+    dgaps: Optional[Sequence[float]] = None,
+    emit_json: bool = False,
+) -> Dict[str, object]:
+    """Run the requested artefacts — the one backend behind both the
+    ``python -m repro bench`` subcommand and this module's legacy CLI.
+
+    Prints the rows as tables (or one JSON document when ``emit_json``)
+    and returns the structured payload.
+    """
+    import json
+
+    payload: Dict[str, object] = {}
+    if what in ("table1", "all"):
+        rows = run_table1(cases=cases, verbose=not emit_json)
+        payload["table1"] = [vars(r) for r in rows]
+    if what in ("table2", "all"):
+        rows = run_table2(dgaps=dgaps, verbose=not emit_json)
+        payload["table2"] = [vars(r) for r in rows]
+    if what in ("figures", "all"):
+        payload["figures"] = run_figures(outdir, verbose=not emit_json)
+    if emit_json:
+        print(json.dumps(payload, indent=2))
+    return payload
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Regenerate tables/figures — the legacy module entry point.
+
+    Kept as a shim so ``python -m repro.bench.harness`` and old imports
+    keep working; the real CLI lives in :mod:`repro.cli`.
+    """
     import argparse
 
     parser = argparse.ArgumentParser(
@@ -221,13 +266,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="which artefact to regenerate",
     )
     parser.add_argument("--outdir", default="out", help="figure output directory")
+    parser.add_argument(
+        "--cases", type=int, nargs="+", default=None,
+        help="Table I cases to run (default: all)",
+    )
+    parser.add_argument(
+        "--dgaps", type=float, nargs="+", default=None,
+        help="Table II d_gap values to run (default: all)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print rows as JSON instead of tables"
+    )
     args = parser.parse_args(argv)
-    if args.what in ("table1", "all"):
-        run_table1()
-    if args.what in ("table2", "all"):
-        run_table2()
-    if args.what in ("figures", "all"):
-        run_figures(args.outdir)
+    run_bench(
+        args.what,
+        outdir=args.outdir,
+        cases=args.cases,
+        dgaps=args.dgaps,
+        emit_json=args.json,
+    )
     return 0
 
 

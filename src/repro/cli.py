@@ -1,0 +1,211 @@
+"""The ``python -m repro`` command-line interface.
+
+Subcommands::
+
+    python -m repro route board.json --preset quality --out result.json
+    python -m repro check board.json --json
+    python -m repro render board.json -o board.svg --show-areas
+    python -m repro bench table1 --cases 1 --json
+    python -m repro bench all --outdir out
+
+``route`` runs the full :class:`~repro.api.RoutingSession` pipeline and
+can persist the structured :class:`~repro.api.RunResult`; ``check`` is
+the stand-alone DRC gate; ``render`` draws a board; ``bench``
+regenerates the paper's tables and figures (the pre-redesign top-level
+``table1``/``table2``/``figures``/``all`` spellings keep working as
+aliases).
+
+Exit codes: 0 on success, 1 when routing ends un-OK (failed stage or
+DRC violations) or a plain ``check`` finds violations, 2 on bad usage
+(argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .api import RoutingSession, SessionConfig
+from .drc import check_board
+from .io import load_board, run_result_to_dict, save_result
+from .viz import render_board
+
+#: Legacy top-level spellings, silently rewritten to ``bench <what>``.
+_LEGACY_BENCH = ("table1", "table2", "figures", "all")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Obstacle-aware length-matching routing (DAC'24 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    route = sub.add_parser(
+        "route", help="run the full pipeline on a board JSON file"
+    )
+    route.add_argument("board", help="input board JSON (see repro.io)")
+    route.add_argument(
+        "--preset",
+        default="default",
+        choices=SessionConfig.PRESETS,
+        help="named SessionConfig preset (default: %(default)s)",
+    )
+    route.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="session-wide tolerance override (absolute length units)",
+    )
+    route.add_argument(
+        "--no-region", action="store_true", help="skip the region-assignment LP"
+    )
+    route.add_argument(
+        "--no-drc", action="store_true", help="skip the final DRC gate"
+    )
+    route.add_argument(
+        "--out", default=None, metavar="RESULT.json",
+        help="write the structured RunResult as JSON",
+    )
+    route.add_argument(
+        "--svg", default=None, metavar="BOARD.svg",
+        help="render the routed board",
+    )
+    route.add_argument(
+        "--json", action="store_true",
+        help="print the RunResult as JSON instead of the summary",
+    )
+    route.add_argument(
+        "--quiet", action="store_true", help="suppress stage progress lines"
+    )
+
+    check = sub.add_parser("check", help="DRC-check a board JSON file")
+    check.add_argument("board")
+    check.add_argument(
+        "--no-areas",
+        action="store_true",
+        help="skip routable-area containment checks",
+    )
+    check.add_argument(
+        "--json", action="store_true", help="print violations as JSON"
+    )
+
+    render = sub.add_parser("render", help="render a board JSON file to SVG")
+    render.add_argument("board")
+    render.add_argument("-o", "--out", required=True, metavar="BOARD.svg")
+    render.add_argument("--scale", type=float, default=4.0)
+    render.add_argument(
+        "--show-areas", action="store_true", help="draw assigned routable areas"
+    )
+
+    bench = sub.add_parser(
+        "bench", help="regenerate the paper's tables and figures"
+    )
+    bench.add_argument("what", choices=list(_LEGACY_BENCH))
+    bench.add_argument("--outdir", default="out", help="figure output directory")
+    bench.add_argument(
+        "--cases", type=int, nargs="+", default=None, metavar="N",
+        help="Table I cases to run (default: all); --cases 1 is the CI fast path",
+    )
+    bench.add_argument(
+        "--dgaps", type=float, nargs="+", default=None, metavar="G",
+        help="Table II d_gap values to run (default: all)",
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="print rows as JSON instead of tables"
+    )
+    return parser
+
+
+# -- handlers -----------------------------------------------------------------------
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    board = load_board(args.board)
+    config = SessionConfig.preset(args.preset)
+    if args.tolerance is not None:
+        config.tolerance = args.tolerance
+    if args.no_region:
+        config.region.enabled = False
+    if args.no_drc:
+        config.drc.enabled = False
+
+    on_stage_start = None
+    if not args.quiet and not args.json:
+        on_stage_start = lambda session, stage: print(f"[{stage.name}] ...")
+    result = RoutingSession(board, config, on_stage_start=on_stage_start).run()
+
+    if args.out:
+        save_result(result, args.out)
+    if args.svg:
+        render_board(board, path=args.svg)
+    if args.json:
+        print(json.dumps(run_result_to_dict(result), indent=2))
+    else:
+        print(result.summary())
+        if args.out:
+            print(f"wrote {args.out}")
+        if args.svg:
+            print(f"wrote {args.svg}")
+    return 0 if result.ok() else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    board = load_board(args.board)
+    report = check_board(board, check_areas=not args.no_areas)
+    if args.json:
+        from .io import drc_report_to_dict
+
+        print(json.dumps(drc_report_to_dict(report), indent=2))
+    else:
+        print("DRC clean" if report.is_clean() else str(report))
+    return 0 if report.is_clean() else 1
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    board = load_board(args.board)
+    render_board(
+        board, path=args.out, scale=args.scale, show_areas=args.show_areas
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Imported lazily: the harness pulls in the whole bench design suite.
+    from .bench.harness import run_bench
+
+    run_bench(
+        args.what,
+        outdir=args.outdir,
+        cases=args.cases,
+        dgaps=args.dgaps,
+        emit_json=args.json,
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args_list: List[str] = list(argv if argv is not None else sys.argv[1:])
+    if args_list and args_list[0] in _LEGACY_BENCH:
+        args_list.insert(0, "bench")
+    args = _build_parser().parse_args(args_list)
+    handler = {
+        "route": _cmd_route,
+        "check": _cmd_check,
+        "render": _cmd_render,
+        "bench": _cmd_bench,
+    }[args.command]
+    try:
+        return handler(args)
+    except (OSError, ValueError) as exc:
+        # Bad input file, unreadable path, unsupported format version:
+        # user errors, not crashes.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

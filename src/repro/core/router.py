@@ -12,8 +12,9 @@ meanders.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..dtw import convert_pair, restore_pair
 from ..model import Board, DesignRules, DifferentialPair, MatchGroup, Trace
@@ -67,15 +68,25 @@ class GroupReport:
     runtime: float = 0.0
 
     def max_error(self) -> float:
+        """Worst member error; ``0.0`` for a group with no members."""
+        if not self.members:
+            return 0.0
         return max(m.error() for m in self.members)
 
     def avg_error(self) -> float:
+        """Mean member error; ``0.0`` for a group with no members."""
+        if not self.members:
+            return 0.0
         return sum(m.error() for m in self.members) / len(self.members)
 
     def initial_max_error(self) -> float:
+        if not self.members:
+            return 0.0
         return max((self.target - m.length_before) / self.target for m in self.members)
 
     def initial_avg_error(self) -> float:
+        if not self.members:
+            return 0.0
         return sum(
             (self.target - m.length_before) / self.target for m in self.members
         ) / len(self.members)
@@ -94,33 +105,51 @@ class LengthMatchingRouter:
         """Match every group on the board, in declaration order."""
         return [self.match_group(g) for g in self.board.groups]
 
-    def match_group(self, group: MatchGroup) -> GroupReport:
+    def match_group(
+        self,
+        group: MatchGroup,
+        tolerance: Optional[float] = None,
+        on_member: Optional[Callable[[MemberReport], None]] = None,
+    ) -> GroupReport:
         """Meander every member of ``group`` to the group target.
 
         Members already within tolerance are left untouched — preserving
         the original routing is the point of the whole exercise, and the
         longest member of a group is always such a member.
+
+        One *effective tolerance* governs the whole match — the member
+        skip test, the extension engine's termination test and the pair
+        top-up loop all use the same value.  Precedence: an explicit
+        ``tolerance`` argument (how :class:`repro.api.RoutingSession`
+        injects its resolved value) wins, else the group's own
+        ``tolerance``; ``config.extension.tolerance`` only governs
+        members matched outside any group (:meth:`match_trace` /
+        :meth:`match_pair`).
+
+        ``on_member`` is called with each :class:`MemberReport` as soon
+        as that member finishes (observer hook for progress reporting).
         """
         target = group.resolved_target()
+        tol = tolerance if tolerance is not None else group.tolerance
         report = GroupReport(group=group.name, target=target)
         started = time.perf_counter()
         for member in list(group.members):
-            if abs(target - member.length()) <= group.tolerance:
-                report.members.append(
-                    MemberReport(
-                        name=member.name,
-                        kind="pair" if isinstance(member, DifferentialPair) else "trace",
-                        target=target,
-                        length_before=member.length(),
-                        length_after=member.length(),
-                        runtime=0.0,
-                    )
+            if abs(target - member.length()) <= tol:
+                member_report = MemberReport(
+                    name=member.name,
+                    kind="pair" if isinstance(member, DifferentialPair) else "trace",
+                    target=target,
+                    length_before=member.length(),
+                    length_after=member.length(),
+                    runtime=0.0,
                 )
-                continue
-            if isinstance(member, DifferentialPair):
-                report.members.append(self._match_pair(member, target))
+            elif isinstance(member, DifferentialPair):
+                member_report = self._match_pair(member, target, tolerance=tol)
             else:
-                report.members.append(self._match_trace(member, target))
+                member_report = self._match_trace(member, target, tolerance=tol)
+            report.members.append(member_report)
+            if on_member is not None:
+                on_member(member_report)
         report.runtime = time.perf_counter() - started
         return report
 
@@ -159,9 +188,12 @@ class LengthMatchingRouter:
         exclude: Sequence[str],
         rules: DesignRules,
         allow_node_feet: bool = True,
+        tolerance: Optional[float] = None,
     ) -> TraceExtender:
         area = self.board.routable_areas.get(member_name, self.board.outline)
         ext_cfg = self.config.extension
+        if tolerance is not None and tolerance != ext_cfg.tolerance:
+            ext_cfg = replace(ext_cfg, tolerance=tolerance)
         if not allow_node_feet:
             # Median-trace mode: no node feet (pin tangents / corner
             # decomposition) and skew-free mirrored chevrons.
@@ -174,10 +206,14 @@ class LengthMatchingRouter:
             config=ext_cfg,
         )
 
-    def _match_trace(self, trace: Trace, target: float) -> MemberReport:
+    def _match_trace(
+        self, trace: Trace, target: float, tolerance: Optional[float] = None
+    ) -> MemberReport:
         started = time.perf_counter()
         rules = self._rules_for(trace)
-        extender = self._extender_for(trace.name, [trace.name], rules)
+        extender = self._extender_for(
+            trace.name, [trace.name], rules, tolerance=tolerance
+        )
         if self.config.apply_miter and rules.dmiter > 0:
             result = extender.extend_mitered(trace, target)
         else:
@@ -197,7 +233,12 @@ class LengthMatchingRouter:
 
     # -- differential pairs -----------------------------------------------------------
 
-    def _match_pair(self, pair: DifferentialPair, target: float) -> MemberReport:
+    def _match_pair(
+        self,
+        pair: DifferentialPair,
+        target: float,
+        tolerance: Optional[float] = None,
+    ) -> MemberReport:
         """MSDTW merge -> meander the median -> restore (Sec. V).
 
         Patterns change the two offset curves symmetrically (their signed
@@ -232,6 +273,7 @@ class LengthMatchingRouter:
             [pair.name, pair.trace_p.name, pair.trace_n.name],
             conversion.virtual_rules,
             allow_node_feet=False,
+            tolerance=tolerance,
         )
         extended = extender.extend(conversion.median, median_target)
         restoration = restore_pair(
@@ -246,9 +288,10 @@ class LengthMatchingRouter:
         # Top-up: with node feet off the restoration is skew-exact and can
         # only undershoot (extension never overshoots); close the residue.
         current = extended.trace
+        tol = tolerance if tolerance is not None else self.config.extension.tolerance
         for _ in range(self.config.pair_topup_rounds):
             deficit = target - restoration.pair.length()
-            if deficit <= group_tolerance(self.config):
+            if deficit <= tol:
                 break
             extended = extender.extend(current, current.length() + deficit)
             if extended.achieved <= current.length() + 1e-9:
@@ -278,5 +321,18 @@ class LengthMatchingRouter:
 
 
 def group_tolerance(config: RouterConfig) -> float:
-    """The matching tolerance the router works to."""
+    """The matching tolerance the router works to.
+
+    .. deprecated:: 1.1
+        The router now resolves one effective tolerance per group (see
+        :meth:`LengthMatchingRouter.match_group`); this helper only
+        reflects the engine default and is kept as a shim.
+    """
+    warnings.warn(
+        "group_tolerance() is deprecated; the router resolves the effective "
+        "tolerance per group (group.tolerance, or the explicit override "
+        "passed to match_group)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return config.extension.tolerance

@@ -1,17 +1,23 @@
-"""Board serialization — JSON round-trip for layouts and results.
+"""Board and result serialization — JSON round-trip for layouts and runs.
 
 A downstream tool needs to get layouts in and results out; this module
-(de)serialises the full :class:`~repro.model.Board`: outline, rule set
+(de)serialises the full :class:`~repro.model.Board` — outline, rule set
 with DRAs, traces, differential pairs, obstacles, matching groups and
-routable areas.  The format is a versioned, human-readable JSON document;
-geometry is stored as plain coordinate lists.
+routable areas — and the structured :class:`~repro.api.RunResult` a
+:class:`~repro.api.RoutingSession` emits (stage records, member reports,
+DRC findings, config snapshot).  Both formats are versioned,
+human-readable JSON documents; geometry is stored as plain coordinate
+lists.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
+from .api.result import RunResult, StageRecord
+from .core import GroupReport, MemberReport
+from .drc import DrcReport, Violation, ViolationKind
 from .geometry import Point, Polygon, Polyline
 from .model import (
     Board,
@@ -25,6 +31,7 @@ from .model import (
 )
 
 FORMAT_VERSION = 1
+RESULT_FORMAT_VERSION = 1
 
 
 # -- encoding ---------------------------------------------------------------------
@@ -56,6 +63,7 @@ def board_to_dict(board: Board) -> Dict[str, Any]:
     """The board as a JSON-serialisable dictionary."""
     return {
         "version": FORMAT_VERSION,
+        "name": board.name,
         "outline": _points(board.outline.points),
         "rules": {
             "default": _rules_dict(board.rules.default),
@@ -161,7 +169,11 @@ def board_from_dict(data: Dict[str, Any]) -> Board:
             for a in data["rules"].get("areas", [])
         ],
     )
-    board = Board(outline=Polygon(_to_points(data["outline"])), rules=rules)
+    board = Board(
+        outline=Polygon(_to_points(data["outline"])),
+        rules=rules,
+        name=data.get("name", ""),
+    )
 
     for t in data.get("traces", []):
         board.add_trace(_to_trace(t))
@@ -214,3 +226,168 @@ def load_board(path: str) -> Board:
     """Read a board from a JSON file."""
     with open(path, "r", encoding="utf-8") as fh:
         return board_from_json(fh.read())
+
+
+# -- run results --------------------------------------------------------------------
+
+
+def _member_report_dict(member: MemberReport) -> Dict[str, Any]:
+    return {
+        "name": member.name,
+        "kind": member.kind,
+        "target": member.target,
+        "length_before": member.length_before,
+        "length_after": member.length_after,
+        "runtime": member.runtime,
+        "iterations": member.iterations,
+        "patterns": member.patterns,
+        "rollbacks": member.rollbacks,
+    }
+
+
+def _to_member_report(data: Dict[str, Any]) -> MemberReport:
+    return MemberReport(
+        name=data["name"],
+        kind=data["kind"],
+        target=data["target"],
+        length_before=data["length_before"],
+        length_after=data["length_after"],
+        runtime=data.get("runtime", 0.0),
+        iterations=data.get("iterations", 0),
+        patterns=data.get("patterns", 0),
+        rollbacks=data.get("rollbacks", 0),
+    )
+
+
+def group_report_to_dict(report: GroupReport) -> Dict[str, Any]:
+    """A :class:`~repro.core.GroupReport` as a JSON-serialisable dict."""
+    return {
+        "group": report.group,
+        "target": report.target,
+        "members": [_member_report_dict(m) for m in report.members],
+        "runtime": report.runtime,
+    }
+
+
+def group_report_from_dict(data: Dict[str, Any]) -> GroupReport:
+    """Rebuild a group report from :func:`group_report_to_dict` output."""
+    return GroupReport(
+        group=data["group"],
+        target=data["target"],
+        members=[_to_member_report(m) for m in data.get("members", [])],
+        runtime=data.get("runtime", 0.0),
+    )
+
+
+def _violation_dict(violation: Violation) -> Dict[str, Any]:
+    return {
+        "kind": violation.kind.value,
+        "subject": violation.subject,
+        "detail": violation.detail,
+        "location": (
+            [violation.location.x, violation.location.y]
+            if violation.location is not None
+            else None
+        ),
+        "measured": violation.measured,
+        "required": violation.required,
+    }
+
+
+def _to_violation(data: Dict[str, Any]) -> Violation:
+    loc = data.get("location")
+    return Violation(
+        kind=ViolationKind(data["kind"]),
+        subject=data["subject"],
+        detail=data.get("detail", ""),
+        location=Point(float(loc[0]), float(loc[1])) if loc is not None else None,
+        measured=data.get("measured"),
+        required=data.get("required"),
+    )
+
+
+def drc_report_to_dict(report: DrcReport) -> Dict[str, Any]:
+    """A :class:`~repro.drc.DrcReport` as a JSON-serialisable dict."""
+    return {"violations": [_violation_dict(v) for v in report.violations]}
+
+
+def drc_report_from_dict(data: Dict[str, Any]) -> DrcReport:
+    """Rebuild a DRC report from :func:`drc_report_to_dict` output."""
+    return DrcReport(
+        violations=[_to_violation(v) for v in data.get("violations", [])]
+    )
+
+
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """The full run artifact as a JSON-serialisable dictionary."""
+    return {
+        "version": RESULT_FORMAT_VERSION,
+        "board": result.board,
+        "config": result.config,
+        "stages": [
+            {
+                "name": s.name,
+                "status": s.status,
+                "runtime": s.runtime,
+                "detail": s.detail,
+                "data": s.data,
+            }
+            for s in result.stages
+        ],
+        "groups": [group_report_to_dict(g) for g in result.groups],
+        "drc": drc_report_to_dict(result.drc) if result.drc is not None else None,
+        "runtime": result.runtime,
+    }
+
+
+def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
+    """Rebuild a run artifact from :func:`run_result_to_dict` output.
+
+    Raises :class:`ValueError` on an unknown format version.
+    """
+    version = data.get("version")
+    if version != RESULT_FORMAT_VERSION:
+        raise ValueError(f"unsupported result format version: {version!r}")
+    drc: Optional[DrcReport] = None
+    if data.get("drc") is not None:
+        drc = drc_report_from_dict(data["drc"])
+    return RunResult(
+        board=data.get("board", ""),
+        config=data.get("config", {}),
+        stages=[
+            StageRecord(
+                name=s["name"],
+                status=s.get("status", "ok"),
+                runtime=s.get("runtime", 0.0),
+                detail=s.get("detail", ""),
+                data=s.get("data", {}),
+            )
+            for s in data.get("stages", [])
+        ],
+        groups=[group_report_from_dict(g) for g in data.get("groups", [])],
+        drc=drc,
+        runtime=data.get("runtime", 0.0),
+    )
+
+
+def result_to_json(result: RunResult, indent: int = 2) -> str:
+    """The run artifact as a JSON string."""
+    return json.dumps(run_result_to_dict(result), indent=indent)
+
+
+def result_from_json(text: str) -> RunResult:
+    """Rebuild a run artifact from a JSON string."""
+    return run_result_from_dict(json.loads(text))
+
+
+def save_result(result: RunResult, path: str) -> str:
+    """Write the run artifact to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(result_to_json(result))
+    return path
+
+
+def load_result(path: str) -> RunResult:
+    """Read a run artifact from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return result_from_json(fh.read())

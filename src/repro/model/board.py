@@ -32,6 +32,8 @@ class Board:
     #: Explicit routable polygon per member name (from region assignment or
     #: supplied directly by the caller; the paper's "rouTable area").
     routable_areas: Dict[str, Polygon] = field(default_factory=dict)
+    #: Optional identifier carried through serialization and run results.
+    name: str = ""
 
     # -- construction ---------------------------------------------------------
 

@@ -1,0 +1,137 @@
+"""Tests for the ``python -m repro`` CLI, including the route golden file."""
+
+import json
+import os
+
+import pytest
+
+from repro import Board, DesignRules, MatchGroup, Point, Polyline, Trace, save_board
+from repro.cli import main
+
+GOLDEN = os.path.join(
+    os.path.dirname(os.path.dirname(__file__)), "data", "route_result.golden.json"
+)
+
+
+def golden_board() -> Board:
+    """The deterministic two-trace bus the golden file was produced from."""
+    rules = DesignRules(dgap=4.0, dobs=2.0, dprotect=2.0)
+    board = Board.with_rect_outline(0.0, 0.0, 100.0, 60.0, rules)
+    board.name = "golden"
+    members = []
+    for k, y in enumerate((15.0, 40.0)):
+        members.append(
+            board.add_trace(
+                Trace(f"sig{k}", Polyline([Point(5.0, y), Point(95.0, y)]), width=1.0)
+            )
+        )
+    board.add_group(MatchGroup("bus", members=members, target_length=120.0))
+    return board
+
+
+def normalize(obj):
+    """Strip runtimes and round floats so the comparison is deterministic."""
+    if isinstance(obj, dict):
+        return {
+            k: normalize(v)
+            for k, v in obj.items()
+            if k not in ("runtime", "aidt_runtime", "ours_runtime")
+        }
+    if isinstance(obj, list):
+        return [normalize(v) for v in obj]
+    if isinstance(obj, float):
+        return round(obj, 6)
+    return obj
+
+
+@pytest.fixture
+def board_file(tmp_path):
+    path = str(tmp_path / "board.json")
+    save_board(golden_board(), path)
+    return path
+
+
+@pytest.mark.smoke
+class TestRoute:
+    def test_route_writes_golden_result(self, board_file, tmp_path, capsys):
+        out = str(tmp_path / "result.json")
+        # The "fast" preset skips the region LP, keeping the artifact
+        # bit-stable across scipy versions.
+        code = main(
+            ["route", board_file, "--preset", "fast", "--out", out, "--quiet"]
+        )
+        assert code == 0
+        with open(out, "r", encoding="utf-8") as fh:
+            produced = normalize(json.load(fh))
+        with open(GOLDEN, "r", encoding="utf-8") as fh:
+            golden = normalize(json.load(fh))
+        assert produced == golden
+
+    def test_route_summary_output(self, board_file, tmp_path, capsys):
+        code = main(["route", board_file, "--preset", "fast"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "board=golden" in out and "OK" in out
+        assert "[match]" in out  # progress line
+
+    def test_route_json_output(self, board_file, capsys):
+        code = main(["route", board_file, "--preset", "fast", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["board"] == "golden"
+        assert [s["name"] for s in payload["stages"]] == ["region", "match", "drc"]
+
+    def test_route_svg(self, board_file, tmp_path, capsys):
+        svg = str(tmp_path / "board.svg")
+        code = main(
+            ["route", board_file, "--preset", "fast", "--svg", svg, "--quiet"]
+        )
+        assert code == 0
+        assert os.path.getsize(svg) > 0
+
+    def test_route_flags_reach_config(self, board_file, capsys):
+        code = main(["route", board_file, "--no-region", "--no-drc", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        statuses = {s["name"]: s["status"] for s in payload["stages"]}
+        assert statuses["region"] == "skipped"
+        assert statuses["drc"] == "skipped"
+
+
+@pytest.mark.smoke
+class TestCheckRender:
+    def test_check_clean_board(self, board_file, capsys):
+        assert main(["check", board_file]) == 0
+        assert "DRC clean" in capsys.readouterr().out
+
+    def test_check_json(self, board_file, capsys):
+        assert main(["check", board_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"violations": []}
+
+    def test_render(self, board_file, tmp_path, capsys):
+        out = str(tmp_path / "b.svg")
+        assert main(["render", board_file, "-o", out]) == 0
+        assert os.path.getsize(out) > 0
+
+
+class TestBench:
+    def test_legacy_alias_rewrites_to_bench(self, capsys):
+        code = main(["table2", "--dgaps", "3.5"])
+        assert code == 0
+        assert "Table II" in capsys.readouterr().out
+
+    @pytest.mark.smoke
+    def test_bench_table1_fast_path_json(self, capsys):
+        # The CI smoke: one Table I case end-to-end, machine-readable.
+        code = main(["bench", "table1", "--cases", "5", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["table1"]) == 1
+        row = payload["table1"][0]
+        assert row["case"] == 5
+        assert row["ours_max"] <= row["aidt_max"]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

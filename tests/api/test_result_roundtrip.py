@@ -1,0 +1,133 @@
+"""JSON round-trip tests for run artifacts (RunResult and its parts)."""
+
+import pytest
+
+from repro import (
+    Board,
+    DesignRules,
+    MatchGroup,
+    Point,
+    Polyline,
+    RoutingSession,
+    RunResult,
+    StageRecord,
+    Trace,
+    load_result,
+    result_from_json,
+    result_to_json,
+    save_result,
+)
+from repro.core import GroupReport, MemberReport
+from repro.drc import DrcReport, Violation, ViolationKind
+from repro.io import (
+    drc_report_from_dict,
+    drc_report_to_dict,
+    group_report_from_dict,
+    group_report_to_dict,
+    run_result_from_dict,
+    run_result_to_dict,
+)
+
+
+def sample_member(name="t0"):
+    return MemberReport(
+        name=name,
+        kind="trace",
+        target=123.456,
+        length_before=100.0,
+        length_after=123.455,
+        runtime=0.25,
+        iterations=7,
+        patterns=3,
+        rollbacks=1,
+    )
+
+
+def sample_drc():
+    return DrcReport(
+        violations=[
+            Violation(
+                kind=ViolationKind.TRACE_CLEARANCE,
+                subject="t0",
+                detail="too close to t1",
+                location=Point(1.5, -2.25),
+                measured=3.2,
+                required=4.0,
+            ),
+            Violation(
+                kind=ViolationKind.SHORT_SEGMENT,
+                subject="t1",
+                detail="segment 3 shorter than d_protect",
+                location=None,
+            ),
+        ]
+    )
+
+
+def sample_result():
+    return RunResult(
+        board="rt_board",
+        config={"preset_name": "custom", "tolerance": None},
+        stages=[
+            StageRecord("region", "skipped", 0.0, "disabled by config"),
+            StageRecord("match", "ok", 1.5, data={"groups": 1, "members": 2}),
+            StageRecord("drc", "failed", 0.1, "2 violation(s)", {"violations": 2}),
+        ],
+        groups=[
+            GroupReport(
+                group="bus",
+                target=123.456,
+                members=[sample_member("t0"), sample_member("t1")],
+                runtime=1.5,
+            )
+        ],
+        drc=sample_drc(),
+        runtime=1.6,
+    )
+
+
+@pytest.mark.smoke
+class TestRoundTrip:
+    def test_member_and_group_report(self):
+        group = GroupReport("g", 100.0, members=[sample_member()], runtime=0.5)
+        assert group_report_from_dict(group_report_to_dict(group)) == group
+
+    def test_drc_report_with_location_and_without(self):
+        report = sample_drc()
+        rebuilt = drc_report_from_dict(drc_report_to_dict(report))
+        assert rebuilt == report
+        assert rebuilt.violations[0].kind is ViolationKind.TRACE_CLEARANCE
+        assert rebuilt.violations[1].location is None
+
+    def test_run_result_dict_roundtrip(self):
+        result = sample_result()
+        assert run_result_from_dict(run_result_to_dict(result)) == result
+
+    def test_run_result_json_roundtrip_preserves_floats(self):
+        result = sample_result()
+        rebuilt = result_from_json(result_to_json(result))
+        assert rebuilt == result
+        assert rebuilt.groups[0].members[0].length_after == 123.455
+
+    def test_file_roundtrip(self, tmp_path):
+        result = sample_result()
+        path = str(tmp_path / "result.json")
+        assert save_result(result, path) == path
+        assert load_result(path) == result
+
+    def test_unknown_version_rejected(self):
+        data = run_result_to_dict(sample_result())
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            run_result_from_dict(data)
+
+    def test_live_session_result_roundtrips(self):
+        rules = DesignRules(dgap=4.0, dobs=2.0, dprotect=2.0)
+        board = Board.with_rect_outline(0, 0, 100, 40, rules)
+        board.name = "live"
+        t = board.add_trace(
+            Trace("sig", Polyline([Point(5, 20), Point(95, 20)]), width=1.0)
+        )
+        board.add_group(MatchGroup("g", members=[t], target_length=110.0))
+        result = RoutingSession(board).run()
+        assert result_from_json(result_to_json(result)) == result

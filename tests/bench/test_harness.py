@@ -44,3 +44,18 @@ class TestCli:
     def test_cli_rejects_unknown(self):
         with pytest.raises(SystemExit):
             main(["nonsense"])
+
+    def test_cli_figures_json_payload_is_paths(self, tmp_path, capsys):
+        # Regression: --json must emit the written file paths, not the
+        # SVG markup itself.
+        import json
+
+        outdir = str(tmp_path / "figs")
+        code = main(["figures", "--outdir", outdir, "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"figures"}
+        assert len(payload["figures"]) == 10
+        for name, path in payload["figures"].items():
+            assert path.endswith(f"{name}.svg")
+            assert os.path.exists(path)

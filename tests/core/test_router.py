@@ -72,6 +72,29 @@ class TestGroupMatching:
         assert math.isclose(report.length_after, 110.0, abs_tol=1e-3)
 
 
+class TestEmptyGroupReport:
+    """Regression: error metrics on a memberless report must not raise."""
+
+    def test_empty_report_errors_are_zero(self):
+        from repro.core import GroupReport
+
+        report = GroupReport(group="empty", target=100.0)
+        assert report.max_error() == 0.0
+        assert report.avg_error() == 0.0
+        assert report.initial_max_error() == 0.0
+        assert report.initial_avg_error() == 0.0
+
+
+class TestMemberObserver:
+    def test_on_member_called_per_member(self):
+        board = board_with_traces([80.0, 100.0, 90.0])
+        seen = []
+        LengthMatchingRouter(board).match_group(
+            board.groups[0], on_member=lambda m: seen.append(m.name)
+        )
+        assert seen == ["t0", "t1", "t2"]
+
+
 class TestSequentialAwareness:
     def test_members_avoid_each_other(self):
         # Tight pitch: the first trace's meanders consume shared space and

@@ -26,6 +26,15 @@ class TestRoundTrip:
             assert a.name == b.name
             assert math.isclose(a.length(), b.length(), rel_tol=1e-12)
 
+    def test_board_name_round_trips(self):
+        board, _ = make_table1_case(1)
+        board.name = "case1"
+        assert board_from_json(board_to_json(board)).name == "case1"
+        # Pre-name documents load with an empty name.
+        data = board_to_dict(board)
+        del data["name"]
+        assert board_from_dict(data).name == ""
+
     def test_pair_board_round_trips(self):
         board, pair = make_msdtw_case()
         restored = board_from_json(board_to_json(board))
