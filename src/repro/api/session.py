@@ -41,6 +41,74 @@ StageEndObserver = Callable[["RoutingSession", StageRecord], None]
 MemberObserver = Callable[["RoutingSession", MemberReport], None]
 
 
+class _StageStub:
+    """Stands in for a live Stage when replaying parallel-run observers.
+
+    ``on_stage_start`` consumers only read ``stage.name``; in workers
+    mode the stage objects lived in another process, so the replay hands
+    out a named stub instead.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+def _route_board_worker(payload):
+    """Route one JSON-encoded board in a worker process.
+
+    Module-level so :class:`concurrent.futures.ProcessPoolExecutor` can
+    pickle it; boards, configs and results all travel as the plain dicts
+    :mod:`repro.io` defines, so nothing session-specific crosses the
+    process boundary.
+    """
+    board_dict, config_dict = payload
+    from ..io import board_from_dict, board_to_dict, run_result_to_dict
+
+    board = board_from_dict(board_dict)
+    config = (
+        SessionConfig.from_dict(config_dict) if config_dict is not None else None
+    )
+    result = RoutingSession(board, config=config).run()
+    return run_result_to_dict(result), board_to_dict(board)
+
+
+def _adopt_routed(board: Board, routed: Board) -> None:
+    """Copy a worker's routed geometry back onto the caller's board.
+
+    ``run()`` mutates its board in place; workers mutated a JSON copy,
+    so the parent re-applies the meandered traces/pairs (which also
+    refreshes group membership by name) and the assigned routable areas.
+    """
+    for trace in routed.traces:
+        board.replace_trace(trace)
+    for pair in routed.pairs:
+        board.replace_pair(pair)
+    board.routable_areas.clear()
+    board.routable_areas.update(routed.routable_areas)
+
+
+def _replay_observers(session: "RoutingSession", result: RunResult) -> None:
+    """Fire a finished run's observer callbacks in the parent process.
+
+    Per stage record: ``on_stage_start`` (with a :class:`_StageStub`),
+    then — for the match stage — every member report in order, then
+    ``on_stage_end``.  Batch-level ordering is by input board, so the
+    callbacks arrive exactly as a serial run would deliver them, just
+    after the fact.
+    """
+    for record in result.stages:
+        if session.on_stage_start is not None:
+            session.on_stage_start(session, _StageStub(record.name))
+        if record.name == "match":
+            for group in result.groups:
+                for member in group.members:
+                    session.notify_member_done(member)
+        if session.on_stage_end is not None:
+            session.on_stage_end(session, record)
+
+
 class RoutingSession:
     """One board, one config, one pluggable pipeline.
 
@@ -108,12 +176,35 @@ class RoutingSession:
         on_stage_start: Optional[StageStartObserver] = None,
         on_stage_end: Optional[StageEndObserver] = None,
         on_member_done: Optional[MemberObserver] = None,
+        workers: Optional[int] = None,
     ) -> List[RunResult]:
         """Route a batch of boards with one shared config.
 
         Each board gets its own session (stage instances are shared —
         the built-ins are stateless); results come back in input order.
+
+        ``workers=N`` (N > 1) routes the boards in ``N`` OS processes:
+        each board and its :class:`~repro.api.result.RunResult` round-trip
+        through the :mod:`repro.io` JSON codecs, the routed geometry is
+        adopted back onto the caller's board objects, and observer
+        callbacks are replayed *in the parent*, per board, in input order
+        (see PERFORMANCE.md for the exact replay semantics).  Custom
+        ``stages`` are not serialisable and raise :class:`ValueError` in
+        workers mode.
         """
+        boards = list(boards)
+        if workers is not None and workers > 1 and stages is not None:
+            # Fail fast even for batches that would fall back to the
+            # serial path (e.g. a single board) — the contract must not
+            # depend on batch size.
+            raise ValueError(
+                "run_many(workers=...) runs the default pipeline; "
+                "custom stages cannot be shipped to worker processes"
+            )
+        if workers is not None and workers > 1 and len(boards) > 1:
+            return cls._run_many_parallel(
+                boards, config, workers, on_stage_start, on_stage_end, on_member_done
+            )
         return [
             cls(
                 board,
@@ -125,3 +216,45 @@ class RoutingSession:
             ).run()
             for board in boards
         ]
+
+    @classmethod
+    def _run_many_parallel(
+        cls,
+        boards: List[Board],
+        config: Union[SessionConfig, str, None],
+        workers: int,
+        on_stage_start: Optional[StageStartObserver],
+        on_stage_end: Optional[StageEndObserver],
+        on_member_done: Optional[MemberObserver],
+    ) -> List[RunResult]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from ..io import board_from_dict, board_to_dict, run_result_from_dict
+
+        if isinstance(config, str):
+            config = SessionConfig.preset(config)
+        config_dict = config.to_dict() if config is not None else None
+        payloads = [(board_to_dict(board), config_dict) for board in boards]
+        with ProcessPoolExecutor(max_workers=min(workers, len(boards))) as pool:
+            outcomes = list(pool.map(_route_board_worker, payloads))
+
+        results: List[RunResult] = []
+        replay = (
+            on_stage_start is not None
+            or on_stage_end is not None
+            or on_member_done is not None
+        )
+        for board, (result_dict, routed_dict) in zip(boards, outcomes):
+            _adopt_routed(board, board_from_dict(routed_dict))
+            result = run_result_from_dict(result_dict)
+            results.append(result)
+            if replay:
+                session = cls(
+                    board,
+                    config=config,
+                    on_stage_start=on_stage_start,
+                    on_stage_end=on_stage_end,
+                    on_member_done=on_member_done,
+                )
+                _replay_observers(session, result)
+        return results

@@ -20,6 +20,7 @@ from .designs import (
     make_table2_design,
 )
 from .harness import run_figures, run_table1, run_table2
+from .perf import dtw_workload, make_drc_board, run_perf
 
 __all__ = [
     "Table1Row",
@@ -40,4 +41,7 @@ __all__ = [
     "run_figures",
     "run_table1",
     "run_table2",
+    "dtw_workload",
+    "make_drc_board",
+    "run_perf",
 ]

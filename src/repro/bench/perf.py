@@ -1,0 +1,362 @@
+"""The perf-regression bench — ``python -m repro bench --perf``.
+
+Times the library's hot paths over the synthetic bench designs at
+several size scales and writes ``BENCH_perf.json``: per-phase medians
+over repeats plus machine info.  The file is the performance trajectory's
+data point for this commit — CI uploads it as an artifact, and future
+PRs diff their numbers against it (no threshold gating yet; the file is
+the baseline).
+
+Phases
+------
+``dtw``        rolling-row and banded :func:`~repro.dtw.dtw_match`
+               against the dense reference recurrence, on jittered
+               parallel node sequences of growing length;
+``drc``        grid-indexed :func:`~repro.drc.check_board` against
+               ``exhaustive=True`` on a routed Table I board replicated
+               to several sizes;
+``extension``  the Alg. 1 extension loop on the Table II via-field
+               design;
+``session``    end-to-end :class:`~repro.api.RoutingSession` runs on
+               Table I cases;
+``batch``      ``run_many`` serial vs. ``workers=2`` on two boards
+               (full mode only — wall-clock only helps with >1 CPU, but
+               the number records the process-pool overhead either way).
+
+``--quick`` shrinks every phase to its smallest scale with one repeat —
+the CI smoke configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import random
+import statistics
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..api import RoutingSession, SessionConfig
+from ..drc import check_board
+from ..dtw import dtw_match, dtw_match_reference
+from ..geometry import Point, Polygon, Polyline
+from ..io import drc_report_to_dict
+from ..model import Board, Obstacle, Trace
+from .designs import make_table1_case, make_table2_design
+from .harness import _table2_extender
+
+PERF_FORMAT_VERSION = 1
+
+_DTW_RULE = 1.6
+
+
+# -- timing helpers ---------------------------------------------------------------------
+
+
+def _median(times: Sequence[float]) -> float:
+    return statistics.median(times)
+
+
+def _fmt_speedup(value: Optional[float]) -> str:
+    """Speedups are ``None`` when the fast time underflowed the clock."""
+    return "n/a" if value is None else f"{value:.1f}x"
+
+
+def _time_repeats(fn: Callable[[], Any], repeats: int) -> Tuple[float, Any]:
+    """Median wall-clock of ``repeats`` calls plus the last return value."""
+    times: List[float] = []
+    value: Any = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        times.append(time.perf_counter() - t0)
+    return _median(times), value
+
+
+# -- workloads --------------------------------------------------------------------------
+
+
+def dtw_workload(
+    n: int,
+    rule: float,
+    seed: int,
+    jitter: float = 0.4,
+    extra_every: int = 13,
+) -> Tuple[List[Point], List[Point]]:
+    """Jittered near-parallel node sequences with uneven node counts —
+    the shape of a real decoupled pair's sub-traces.
+
+    Shared with the DTW equivalence tests so the bench times the same
+    distribution the tests certify; ``extra_every`` inserts an
+    interpolated extra node into the second sequence every that many
+    nodes (uneven counts are what DTW exists for).
+    """
+    rng = random.Random(seed)
+    p: List[Point] = []
+    q: List[Point] = []
+    x = 0.0
+    for k in range(n):
+        x += 1.0 + rng.random() * 0.5
+        y = math.sin(k * 0.3) * 2.0 + rng.random() * 0.3
+        p.append(Point(x, y))
+        q.append(
+            Point(
+                x + (rng.random() - 0.5) * jitter,
+                y - rule + (rng.random() - 0.5) * jitter,
+            )
+        )
+    uneven: List[Point] = []
+    for k, pt in enumerate(q):
+        uneven.append(pt)
+        if k % extra_every == extra_every - 1 and k + 1 < len(q):
+            nxt = q[k + 1]
+            uneven.append(Point((pt.x + nxt.x) / 2.0, (pt.y + nxt.y) / 2.0))
+    return p, uneven
+
+
+def _routed_table1_board() -> Board:
+    board, _ = make_table1_case(1)
+    RoutingSession(board, config=SessionConfig.preset("bench")).run()
+    return board
+
+
+def make_drc_board(scale: int) -> Board:
+    """A routed Table I case 1 board tiled ``scale`` times vertically.
+
+    Replication multiplies the trace/segment/obstacle counts without
+    changing the local geometry, so the DRC workload grows like a real
+    board panel while every copy stays clean by construction.
+    """
+    base = _routed_table1_board()
+    xmin, ymin, xmax, ymax = base.outline.bounds()
+    dy = (ymax - ymin) + base.rules.default.dgap
+    board = Board(
+        outline=Polygon(
+            [
+                Point(xmin, ymin),
+                Point(xmax, ymin),
+                Point(xmax, ymin + dy * scale),
+                Point(xmin, ymin + dy * scale),
+            ]
+        ),
+        rules=base.rules,
+        name=f"perf_drc_x{scale}",
+    )
+    for k in range(scale):
+        offset = Point(0.0, dy * k)
+        for trace in base.traces:
+            board.add_trace(
+                Trace(
+                    name=f"{trace.name}_r{k}",
+                    path=Polyline([pt + offset for pt in trace.path.points]),
+                    width=trace.width,
+                )
+            )
+        for obstacle in base.obstacles:
+            board.add_obstacle(
+                Obstacle(
+                    polygon=Polygon([pt + offset for pt in obstacle.polygon.points]),
+                    kind=obstacle.kind,
+                    name=f"{obstacle.name}_r{k}",
+                )
+            )
+    return board
+
+
+# -- phases -----------------------------------------------------------------------------
+
+
+def _phase_dtw(sizes: Sequence[int], repeats: int) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for n in sizes:
+        p, q = dtw_workload(n, _DTW_RULE, seed=n)
+        ref_s, ref = _time_repeats(lambda: dtw_match_reference(p, q), repeats)
+        roll_s, roll = _time_repeats(lambda: dtw_match(p, q), repeats)
+        band_s, band = _time_repeats(
+            lambda: dtw_match(p, q, band=_DTW_RULE), repeats
+        )
+        rows.append(
+            {
+                "nodes": n,
+                "reference_s": ref_s,
+                "rolling_s": roll_s,
+                "banded_s": band_s,
+                "speedup_rolling": ref_s / roll_s if roll_s > 0 else None,
+                "speedup_banded": ref_s / band_s if band_s > 0 else None,
+                "identical": ref == roll == band,
+            }
+        )
+    return rows
+
+
+def _phase_drc(scales: Sequence[int], repeats: int) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for scale in scales:
+        board = make_drc_board(scale)
+        fast_s, fast = _time_repeats(
+            lambda: check_board(board, check_areas=False), repeats
+        )
+        ex_s, ex = _time_repeats(
+            lambda: check_board(board, check_areas=False, exhaustive=True), repeats
+        )
+        rows.append(
+            {
+                "scale": scale,
+                "traces": len(board.traces),
+                "segments": sum(len(t.segments()) for t in board.traces),
+                "obstacles": len(board.obstacles),
+                "fast_s": fast_s,
+                "exhaustive_s": ex_s,
+                "speedup": ex_s / fast_s if fast_s > 0 else None,
+                "identical": drc_report_to_dict(fast) == drc_report_to_dict(ex),
+                "violations": len(fast),
+            }
+        )
+    return rows
+
+
+def _phase_extension(dgaps: Sequence[float], repeats: int) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for dgap in dgaps:
+        def run_once(dgap: float = dgap):
+            board, trace = make_table2_design(dgap)
+            extender = _table2_extender(board, trace, use_dp=True)
+            return extender.extension_upper_bound(trace)
+
+        med, result = _time_repeats(run_once, repeats)
+        rows.append(
+            {
+                "dgap": dgap,
+                "extend_s": med,
+                "iterations": result.iterations,
+                "patterns": result.patterns_applied,
+                "achieved": result.achieved,
+            }
+        )
+    return rows
+
+
+def _phase_session(cases: Sequence[int], repeats: int) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for case in cases:
+        times: List[float] = []
+        last = None
+        for _ in range(repeats):
+            board, _ = make_table1_case(case)
+            session = RoutingSession(board, config=SessionConfig.preset("bench"))
+            t0 = time.perf_counter()
+            last = session.run()
+            times.append(time.perf_counter() - t0)
+        rows.append(
+            {
+                "case": case,
+                "run_s": _median(times),
+                "ok": bool(last.ok()),
+                "max_error": last.max_error(),
+                "stages": {r.name: r.runtime for r in last.stages},
+            }
+        )
+    return rows
+
+
+def _phase_batch(repeats: int) -> List[Dict[str, Any]]:
+    cases = (1, 2)
+
+    def serial():
+        boards = [make_table1_case(c)[0] for c in cases]
+        return RoutingSession.run_many(boards, config="bench")
+
+    def parallel():
+        boards = [make_table1_case(c)[0] for c in cases]
+        return RoutingSession.run_many(boards, config="bench", workers=2)
+
+    serial_s, _ = _time_repeats(serial, repeats)
+    parallel_s, _ = _time_repeats(parallel, repeats)
+    return [
+        {
+            "boards": len(cases),
+            "serial_s": serial_s,
+            "workers2_s": parallel_s,
+            "cpu_count": os.cpu_count(),
+        }
+    ]
+
+
+# -- entry point ------------------------------------------------------------------------
+
+
+def run_perf(
+    quick: bool = False,
+    out: Optional[str] = "BENCH_perf.json",
+    verbose: bool = True,
+) -> Dict[str, Any]:
+    """Run every perf phase and (optionally) write the JSON baseline.
+
+    ``quick`` is the CI smoke configuration: smallest scales, one repeat.
+    Returns the payload; ``out=None`` skips writing.
+    """
+    repeats = 1 if quick else 3
+    started = time.perf_counter()
+    phases: Dict[str, Any] = {
+        "dtw": _phase_dtw([64] if quick else [64, 128, 256], repeats),
+        "drc": _phase_drc([1] if quick else [1, 2, 4], repeats),
+        "extension": _phase_extension([4.0] if quick else [2.5, 4.0], repeats),
+        "session": _phase_session([1] if quick else [1, 5], repeats),
+    }
+    if not quick:
+        phases["batch"] = _phase_batch(repeats=1)
+    payload: Dict[str, Any] = {
+        "version": PERF_FORMAT_VERSION,
+        "kind": "BENCH_perf",
+        "quick": quick,
+        "repeats": repeats,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "cpu_count": os.cpu_count(),
+        },
+        "total_s": 0.0,
+        "phases": phases,
+    }
+    payload["total_s"] = time.perf_counter() - started
+
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    if verbose:
+        for row in phases["dtw"]:
+            print(
+                f"dtw       nodes={row['nodes']:>4}  ref {row['reference_s']*1e3:8.2f} ms"
+                f"  rolling {row['rolling_s']*1e3:8.2f} ms"
+                f"  banded {row['banded_s']*1e3:8.2f} ms"
+                f"  ({_fmt_speedup(row['speedup_banded'])}, identical={row['identical']})"
+            )
+        for row in phases["drc"]:
+            print(
+                f"drc       scale={row['scale']}  segments={row['segments']:>5}"
+                f"  fast {row['fast_s']*1e3:8.2f} ms"
+                f"  exhaustive {row['exhaustive_s']*1e3:10.2f} ms"
+                f"  ({_fmt_speedup(row['speedup'])}, identical={row['identical']})"
+            )
+        for row in phases["extension"]:
+            print(
+                f"extension dgap={row['dgap']:.1f}  {row['extend_s']:.3f} s"
+                f"  ({row['iterations']} iterations, {row['patterns']} patterns)"
+            )
+        for row in phases["session"]:
+            print(
+                f"session   case={row['case']}  {row['run_s']:.3f} s"
+                f"  ok={row['ok']}"
+            )
+        for row in phases.get("batch", ()):
+            print(
+                f"batch     serial {row['serial_s']:.3f} s"
+                f"  workers=2 {row['workers2_s']:.3f} s"
+            )
+        if out:
+            print(f"wrote {out}")
+    return payload

@@ -7,13 +7,15 @@ Subcommands::
     python -m repro render board.json -o board.svg --show-areas
     python -m repro bench table1 --cases 1 --json
     python -m repro bench all --outdir out
+    python -m repro bench --perf --quick
 
 ``route`` runs the full :class:`~repro.api.RoutingSession` pipeline and
 can persist the structured :class:`~repro.api.RunResult`; ``check`` is
 the stand-alone DRC gate; ``render`` draws a board; ``bench``
 regenerates the paper's tables and figures (the pre-redesign top-level
 ``table1``/``table2``/``figures``/``all`` spellings keep working as
-aliases).
+aliases) or, with ``--perf``, times the hot paths and writes the
+``BENCH_perf.json`` baseline (see PERFORMANCE.md).
 
 Exit codes: 0 on success, 1 when routing ends un-OK (failed stage or
 DRC violations) or a plain ``check`` finds violations, 2 on bad usage
@@ -101,10 +103,30 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     bench = sub.add_parser(
-        "bench", help="regenerate the paper's tables and figures"
+        "bench",
+        help="regenerate the paper's tables and figures, or run the perf bench",
     )
-    bench.add_argument("what", choices=list(_LEGACY_BENCH))
-    bench.add_argument("--outdir", default="out", help="figure output directory")
+    bench.add_argument(
+        "what", nargs="?", default=None, choices=list(_LEGACY_BENCH),
+        help="artefact to regenerate (omit when using --perf)",
+    )
+    bench.add_argument(
+        "--perf", action="store_true",
+        help="time the hot paths and write a BENCH_perf.json baseline",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="with --perf: smallest scales, one repeat (the CI smoke run)",
+    )
+    bench.add_argument(
+        "--out", default=None, metavar="PERF.json",
+        help="with --perf: where to write the baseline "
+        "(default: BENCH_perf.json)",
+    )
+    bench.add_argument(
+        "--outdir", default=None,
+        help="figure output directory (default: out)",
+    )
     bench.add_argument(
         "--cases", type=int, nargs="+", default=None, metavar="N",
         help="Table I cases to run (default: all); --cases 1 is the CI fast path",
@@ -175,11 +197,58 @@ def _cmd_render(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     # Imported lazily: the harness pulls in the whole bench design suite.
+    if args.perf:
+        if args.what is not None:
+            print(
+                f"error: --perf and the '{args.what}' artefact are separate "
+                "bench modes; request one at a time",
+                file=sys.stderr,
+            )
+            return 2
+        ignored = [
+            flag
+            for flag, used in (
+                ("--cases", args.cases is not None),
+                ("--dgaps", args.dgaps is not None),
+                ("--json", args.json),
+                ("--outdir", args.outdir is not None),
+            )
+            if used
+        ]
+        if ignored:
+            print(
+                f"error: {', '.join(ignored)} only applies to table/figure "
+                "benches, not --perf",
+                file=sys.stderr,
+            )
+            return 2
+        from .bench.perf import run_perf
+
+        run_perf(quick=args.quick, out=args.out or "BENCH_perf.json")
+        return 0
+    if args.what is None:
+        print(
+            "error: bench needs an artefact (table1|table2|figures|all) "
+            "unless --perf is given",
+            file=sys.stderr,
+        )
+        return 2
+    ignored = [
+        flag
+        for flag, used in (("--quick", args.quick), ("--out", args.out is not None))
+        if used
+    ]
+    if ignored:
+        print(
+            f"error: {', '.join(ignored)} only applies to --perf",
+            file=sys.stderr,
+        )
+        return 2
     from .bench.harness import run_bench
 
     run_bench(
         args.what,
-        outdir=args.outdir,
+        outdir=args.outdir or "out",
         cases=args.cases,
         dgaps=args.dgaps,
         emit_json=args.json,

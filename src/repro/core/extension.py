@@ -128,6 +128,10 @@ class TraceExtender:
         self.config = config or ExtensionConfig()
         xmin, ymin, xmax, ymax = area.bounds()
         self._area_diag = math.hypot(xmax - xmin, ymax - ymin)
+        # Segment-key -> index lookup for _locate, rebuilt whenever the
+        # path object changes (paths are immutable, so identity suffices).
+        self._seg_index_path: Optional[Polyline] = None
+        self._seg_index: Dict[Tuple[float, float, float, float], int] = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -266,10 +270,20 @@ class TraceExtender:
     # -- per-segment machinery ---------------------------------------------------
 
     def _locate(self, path: Polyline, key) -> Optional[int]:
-        for i in range(len(path.points) - 1):
-            if _segment_key(path.segment(i)) == key:
-                return i
-        return None
+        """Index of the segment with ``key`` in ``path``, or ``None``.
+
+        Queue entries outlive path edits, so lookups are frequent and
+        usually miss; a dict rebuilt once per path change replaces the
+        old linear rescan.  ``setdefault`` keeps the first occurrence,
+        matching the scan's behaviour on (degenerate) duplicate keys.
+        """
+        if path is not self._seg_index_path:
+            index: Dict[Tuple[float, float, float, float], int] = {}
+            for i in range(len(path.points) - 1):
+                index.setdefault(_segment_key(path.segment(i)), i)
+            self._seg_index = index
+            self._seg_index_path = path
+        return self._seg_index.get(key)
 
     def _dp_config(self, seg: Segment, width: float, need: float) -> Optional[DPConfig]:
         cfg = self.config

@@ -8,20 +8,43 @@ DESIGN.md).
 
 All clearances are *edge-to-edge*: a centreline measurement passes when it
 exceeds the rule plus the relevant copper half-widths.
+
+Two sweeps live behind :func:`check_board`:
+
+* the **grid-indexed fast path** (default) hashes every trace segment
+  into a :class:`~repro.geometry.SegmentGrid` sized by the largest
+  clearance in play and only runs exact distance tests on candidate
+  segment pairs the grid reports — near-linear in board size;
+* the **exhaustive path** (``exhaustive=True``) is the original
+  all-pairs sweep, kept as the cross-validation oracle.
+
+Both paths emit the identical violation set in the identical order: the
+grid's candidate list is a superset of every pair within clearance
+range, candidates are visited in the exhaustive sweep's index order, and
+the exact measurements use the same arithmetic (see PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..geometry import Point, Polygon, polyline_inside_polygon
+from ..geometry import (
+    Point,
+    Polygon,
+    SegmentGrid,
+    bounds_overlap,
+    polyline_inside_polygon,
+)
 from ..model import Board, DesignRules, DifferentialPair, Obstacle, Trace
 from .violations import DrcReport, Violation, ViolationKind
 
 #: Numerical slack: measurements may sit exactly on the rule, so a tiny
 #: tolerance keeps exact-by-construction geometry from being flagged.
 SLACK = 1e-6
+
+#: Candidate segment-index pairs for one check; ``None`` = scan all pairs.
+Candidates = Optional[Iterable[Tuple[int, int]]]
 
 
 def check_segment_lengths(
@@ -95,6 +118,7 @@ def check_self_clearance(
     rules: DesignRules,
     report: Optional[DrcReport] = None,
     required: Optional[float] = None,
+    candidates: Candidates = None,
 ) -> DrcReport:
     """Flag parallel overlapping runs of one trace closer than the
     same-net spacing floor.
@@ -109,38 +133,69 @@ def check_self_clearance(
     obeys: parallel overlapping centrelines at least ``d_protect`` apart
     (``required`` overrides for callers that know more context, e.g. the
     extension rollback guard checking *cross-structure* pairs at d_gap).
+
+    ``candidates`` restricts the sweep to the given ``(i, j)`` segment
+    index pairs (``j >= i + 2``, ascending); the caller guarantees the
+    list covers every pair within ``required`` — what the grid-indexed
+    :func:`check_board` provides.
     """
     report = report if report is not None else DrcReport()
     segs = trace.segments()
     floor = required if required is not None else max(rules.dprotect, trace.width)
-    n = len(segs)
-    for i in range(n):
-        for j in range(i + 2, n):
-            if segments_parallel_conflict(segs[i], segs[j], floor):
-                report.add(
-                    Violation(
-                        kind=ViolationKind.SELF_CLEARANCE,
-                        subject=trace.name,
-                        detail=f"segments {i} and {j} too close",
-                        location=segs[i].midpoint(),
-                        measured=segs[i].distance_to_segment(segs[j]),
-                        required=floor,
-                    )
+    if candidates is None:
+        n = len(segs)
+        candidates = (
+            (i, j) for i in range(n) for j in range(i + 2, n)
+        )  # lazy: the exhaustive sweep must not materialise O(n^2) tuples
+    for i, j in candidates:
+        if segments_parallel_conflict(segs[i], segs[j], floor):
+            report.add(
+                Violation(
+                    kind=ViolationKind.SELF_CLEARANCE,
+                    subject=trace.name,
+                    detail=f"segments {i} and {j} too close",
+                    location=segs[i].midpoint(),
+                    measured=segs[i].distance_to_segment(segs[j]),
+                    required=floor,
                 )
+            )
     return report
 
 
 def check_trace_pair_clearance(
-    a: Trace, b: Trace, rules: DesignRules, report: Optional[DrcReport] = None
+    a: Trace,
+    b: Trace,
+    rules: DesignRules,
+    report: Optional[DrcReport] = None,
+    candidates: Candidates = None,
 ) -> DrcReport:
-    """Flag two different traces closer than ``d_gap`` edge-to-edge."""
+    """Flag two different traces closer than ``d_gap`` edge-to-edge.
+
+    ``candidates`` restricts the exact distance tests to the given
+    ``(index_in_a, index_in_b)`` segment pairs, visited in ascending
+    order.  Provided the list covers every pair within the required
+    clearance (the grid guarantee), the verdict, measurement and location
+    are identical to the full sweep: the minimum is achieved inside the
+    candidate set, and ascending order preserves which segment's midpoint
+    gets reported on ties.
+    """
     report = report if report is not None else DrcReport()
     required = rules.dgap + a.width / 2.0 + b.width / 2.0
+    segs_a = a.segments()
+    segs_b = b.segments()
     best = math.inf
     where: Optional[Point] = None
-    for sa in a.segments():
-        for sb in b.segments():
-            d = sa.distance_to_segment(sb)
+    if candidates is None:
+        for sa in segs_a:
+            for sb in segs_b:
+                d = sa.distance_to_segment(sb)
+                if d < best:
+                    best = d
+                    where = sa.midpoint()
+    else:
+        for ia, ib in candidates:
+            sa = segs_a[ia]
+            d = sa.distance_to_segment(segs_b[ib])
             if d < best:
                 best = d
                 where = sa.midpoint()
@@ -163,14 +218,38 @@ def check_obstacle_clearance(
     obstacles: Iterable[Obstacle],
     rules: DesignRules,
     report: Optional[DrcReport] = None,
+    prefilter: bool = False,
 ) -> DrcReport:
-    """Flag copper closer than ``d_obs`` to any obstacle."""
+    """Flag copper closer than ``d_obs`` to any obstacle.
+
+    ``prefilter=True`` skips the exact polygon-distance tests for
+    segments whose bounding box already clears the obstacle's by the
+    required distance — the verdict is unchanged (bounding-box separation
+    never exceeds true distance) but dense via fields stop costing a
+    polygon sweep per far-away segment.
+    """
     report = report if report is not None else DrcReport()
     required = rules.dobs + trace.width / 2.0
+    segments = trace.segments()
+    seg_bounds: Optional[List[Tuple[float, float, float, float]]] = None
     for obstacle in obstacles:
+        if prefilter:
+            if seg_bounds is None:
+                seg_bounds = [seg.bounds() for seg in segments]
+            ob = obstacle.bounds()
+            obox = (ob[0] - required, ob[1] - required, ob[2] + required, ob[3] + required)
+            near = [
+                seg
+                for seg, b in zip(segments, seg_bounds)
+                if bounds_overlap(b, obox)
+            ]
+            if not near:
+                continue
+        else:
+            near = segments
         best = math.inf
         where: Optional[Point] = None
-        for seg in trace.segments():
+        for seg in near:
             d = obstacle.polygon.distance_to_segment(seg)
             if d < best:
                 best = d
@@ -252,7 +331,9 @@ def check_pair_coupling(
     return report
 
 
-def check_board(board: Board, check_areas: bool = True) -> DrcReport:
+def check_board(
+    board: Board, check_areas: bool = True, exhaustive: bool = False
+) -> DrcReport:
     """Full-board DRC: every trace against every rule it is subject to.
 
     Rule resolution is per-trace via the most conservative DRA combination
@@ -261,53 +342,129 @@ def check_board(board: Board, check_areas: bool = True) -> DrcReport:
     pairs legally carry tiny compensation patterns and split corner nodes
     (Sec. V-A: such pairs "can still be legal in DRC and retained
     directly"), and intra-pair spacing is governed by the pair rule.
+
+    ``exhaustive=True`` runs the original all-pairs sweeps; the default
+    grid-indexed path reports the identical violation set (candidate
+    supersets + identical exact tests in identical order) in a fraction
+    of the time on large boards.
     """
     report = DrcReport()
     all_traces: List[Trace] = list(board.traces)
     pair_sub_names = set()
+    same_pair_keys: Set[frozenset] = set()
     for pair in board.pairs:
         all_traces.extend((pair.trace_p, pair.trace_n))
         pair_sub_names.update((pair.trace_p.name, pair.trace_n.name))
+        same_pair_keys.add(frozenset((pair.trace_p.name, pair.trace_n.name)))
 
     per_trace_rules = {
         t.name: board.rules.rules_for_points(t.path.points) for t in all_traces
     }
 
-    for trace in all_traces:
+    self_floor = {
+        t.name: (
+            t.width
+            if t.name in pair_sub_names
+            else max(per_trace_rules[t.name].dprotect, t.width)
+        )
+        for t in all_traces
+    }
+
+    self_cands: Dict[int, List[Tuple[int, int]]] = {}
+    pair_cands: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    if not exhaustive and all_traces:
+        self_cands, pair_cands = _clearance_candidates(
+            all_traces, per_trace_rules, self_floor
+        )
+
+    for idx, trace in enumerate(all_traces):
         rules = per_trace_rules[trace.name]
+        cands = None if exhaustive else sorted(self_cands.get(idx, ()))
         if trace.name not in pair_sub_names:
             check_segment_lengths(trace, rules, report)
-            check_self_clearance(trace, rules, report)
+            check_self_clearance(trace, rules, report, candidates=cands)
         else:
             # Within a pair the structural floor is the tiny-pattern scale,
             # not d_protect (tiny patterns are narrower by design).
-            check_self_clearance(trace, rules, report, required=trace.width)
-        check_obstacle_clearance(trace, board.obstacles, rules, report)
+            check_self_clearance(
+                trace, rules, report, required=trace.width, candidates=cands
+            )
+        check_obstacle_clearance(
+            trace, board.obstacles, rules, report, prefilter=not exhaustive
+        )
         if check_areas:
             area = board.routable_areas.get(trace.name)
             if area is not None:
                 check_containment(trace, area, report)
 
-    pair_members = {
-        id(t) for p in board.pairs for t in (p.trace_p, p.trace_n)
-    }
-    for i in range(len(all_traces)):
-        for j in range(i + 1, len(all_traces)):
-            a, b = all_traces[i], all_traces[j]
-            if _same_pair(board, a, b):
-                continue  # intra-pair spacing is the pair rule, not d_gap
-            rules = DesignRules(
-                dgap=max(per_trace_rules[a.name].dgap, per_trace_rules[b.name].dgap),
-                dobs=max(per_trace_rules[a.name].dobs, per_trace_rules[b.name].dobs),
-                dprotect=max(
-                    per_trace_rules[a.name].dprotect, per_trace_rules[b.name].dprotect
-                ),
-            )
-            check_trace_pair_clearance(a, b, rules, report)
+    if exhaustive:
+        trace_pairs: Iterable[Tuple[int, int]] = (
+            (i, j)
+            for i in range(len(all_traces))
+            for j in range(i + 1, len(all_traces))
+        )
+    else:
+        # Only trace pairs with a candidate segment pair can violate;
+        # sorted keys reproduce the exhaustive i<j visiting order.
+        trace_pairs = sorted(pair_cands)
+    for i, j in trace_pairs:
+        a, b = all_traces[i], all_traces[j]
+        if frozenset((a.name, b.name)) in same_pair_keys:
+            continue  # intra-pair spacing is the pair rule, not d_gap
+        cands = None if exhaustive else sorted(pair_cands[(i, j)])
+        rules = DesignRules(
+            dgap=max(per_trace_rules[a.name].dgap, per_trace_rules[b.name].dgap),
+            dobs=max(per_trace_rules[a.name].dobs, per_trace_rules[b.name].dobs),
+            dprotect=max(
+                per_trace_rules[a.name].dprotect, per_trace_rules[b.name].dprotect
+            ),
+        )
+        check_trace_pair_clearance(a, b, rules, report, candidates=cands)
     return report
 
 
+def _clearance_candidates(
+    traces: Sequence[Trace],
+    per_trace_rules: Dict[str, DesignRules],
+    self_floor: Dict[str, float],
+) -> Tuple[Dict[int, Set[Tuple[int, int]]], Dict[Tuple[int, int], Set[Tuple[int, int]]]]:
+    """Grid-reported candidate segment pairs for every clearance sweep.
+
+    One :class:`~repro.geometry.SegmentGrid` holds every segment of every
+    trace; the query radius is the largest clearance any check can ask
+    for, so each returned bucket is a superset of the pairs the exact
+    sweep could flag.  Keys: trace index -> self pairs, ``(i, j)`` with
+    ``i < j`` -> cross-trace pairs.
+    """
+    max_width = max(t.width for t in traces)
+    max_gap = max(per_trace_rules[t.name].dgap for t in traces)
+    radius = max(max_gap + max_width, max(self_floor.values()))
+    grid = SegmentGrid(cell=radius)
+
+    segs_by_trace = [t.segments() for t in traces]
+    for ti, segs in enumerate(segs_by_trace):
+        for si, seg in enumerate(segs):
+            grid.insert(seg, (ti, si))
+
+    self_cands: Dict[int, Set[Tuple[int, int]]] = {}
+    pair_cands: Dict[Tuple[int, int], Set[Tuple[int, int]]] = {}
+    for ti, segs in enumerate(segs_by_trace):
+        for si, seg in enumerate(segs):
+            for tj, sj in grid.query_segment(seg, radius):
+                if tj == ti:
+                    if sj >= si + 2:
+                        self_cands.setdefault(ti, set()).add((si, sj))
+                elif tj > ti:
+                    pair_cands.setdefault((ti, tj), set()).add((si, sj))
+    return self_cands, pair_cands
+
+
 def _same_pair(board: Board, a: Trace, b: Trace) -> bool:
+    """Whether ``a`` and ``b`` are the two sub-traces of one pair.
+
+    Kept for external callers; :func:`check_board` precomputes the name
+    pairs once instead of rescanning ``board.pairs`` per trace pair.
+    """
     for pair in board.pairs:
         names = {pair.trace_p.name, pair.trace_n.name}
         if a.name in names and b.name in names:

@@ -26,6 +26,7 @@ from .polygon import (
 )
 from .transform import Frame, Rotation, rotation_about
 from .rangequery import PointRangeTree, brute_force_range
+from .spatialhash import SegmentGrid, bounds_overlap
 from .ops import (
     cells_union_boundary,
     offset_polyline,
@@ -63,6 +64,8 @@ __all__ = [
     "rotation_about",
     "PointRangeTree",
     "brute_force_range",
+    "SegmentGrid",
+    "bounds_overlap",
     "cells_union_boundary",
     "offset_polyline",
     "polyline_inside_polygon",

@@ -1,0 +1,110 @@
+"""Uniform-grid spatial hashing over segment bounding boxes.
+
+The DRC's clearance sweeps only ever care about segment pairs closer
+than the largest clearance rule in play.  A :class:`SegmentGrid` with a
+cell size of that rule answers "which segments could possibly be within
+``radius`` of this one?" by looking at a constant number of cells, which
+turns the checker's all-pairs sweeps into near-linear candidate scans
+(the practical counterpart of the paper's Sec. IV-D range reporting,
+which this module complements for segments rather than points).
+
+Guarantee: :meth:`SegmentGrid.query_segment` returns a *superset* of the
+segments whose true Euclidean distance to the probe is below ``radius``
+(bounding-box separation never exceeds true distance), so an exact
+distance test over the candidates reproduces the exhaustive sweep's
+verdict exactly.  Payloads come back deduplicated, in insertion order,
+which keeps downstream violation ordering deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Hashable, List, Tuple
+
+from .segment import Segment
+
+Bounds = Tuple[float, float, float, float]
+
+
+def bounds_overlap(b1: Bounds, b2: Bounds) -> bool:
+    """Closed-box intersection of two ``(xmin, ymin, xmax, ymax)`` bounds.
+
+    The one bbox predicate shared by the grid and the DRC prefilters, so
+    the open/closed-boundary convention cannot drift between them.
+    """
+    return b1[0] <= b2[2] and b2[0] <= b1[2] and b1[1] <= b2[3] and b2[1] <= b1[3]
+
+
+class SegmentGrid:
+    """A uniform hash grid keyed by segment bounding boxes.
+
+    ``cell`` should be on the order of the largest query radius: smaller
+    cells make long segments span many buckets, larger cells make every
+    query scan more false candidates.
+    """
+
+    def __init__(self, cell: float):
+        if cell <= 0.0 or not math.isfinite(cell):
+            raise ValueError("grid cell size must be positive and finite")
+        self.cell = float(cell)
+        #: ``(bounds, payload)`` per inserted segment, in insertion order.
+        self._items: List[Tuple[Bounds, Hashable]] = []
+        self._cells: Dict[Tuple[int, int], List[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # -- building ----------------------------------------------------------
+
+    def insert(self, seg: Segment, payload: Any = None) -> int:
+        """Index ``seg``; returns its insertion index.
+
+        ``payload`` (default: the insertion index itself) is what queries
+        report back — typically a ``(trace_index, segment_index)`` key.
+        """
+        index = len(self._items)
+        bounds = seg.bounds()
+        self._items.append((bounds, index if payload is None else payload))
+        for key in self._cover(bounds):
+            self._cells.setdefault(key, []).append(index)
+        return index
+
+    def _cover(self, bounds: Bounds):
+        c = self.cell
+        ix0 = math.floor(bounds[0] / c)
+        iy0 = math.floor(bounds[1] / c)
+        ix1 = math.floor(bounds[2] / c)
+        iy1 = math.floor(bounds[3] / c)
+        for gx in range(ix0, ix1 + 1):
+            for gy in range(iy0, iy1 + 1):
+                yield (gx, gy)
+
+    # -- queries -----------------------------------------------------------
+
+    def query_bounds(
+        self, xmin: float, ymin: float, xmax: float, ymax: float
+    ) -> List[Any]:
+        """Payloads of segments whose bounding box meets the closed box."""
+        hits: List[int] = []
+        seen = set()
+        for key in self._cover((xmin, ymin, xmax, ymax)):
+            for index in self._cells.get(key, ()):
+                if index in seen:
+                    continue
+                seen.add(index)
+                if bounds_overlap(self._items[index][0], (xmin, ymin, xmax, ymax)):
+                    hits.append(index)
+        hits.sort()
+        return [self._items[i][1] for i in hits]
+
+    def query_segment(self, seg: Segment, radius: float) -> List[Any]:
+        """Payloads of every indexed segment possibly within ``radius``.
+
+        Superset guarantee: any indexed segment whose true distance to
+        ``seg`` is ``<= radius`` is reported (plus bounding-box false
+        positives the caller filters with an exact test).
+        """
+        b = seg.bounds()
+        return self.query_bounds(
+            b[0] - radius, b[1] - radius, b[2] + radius, b[3] + radius
+        )

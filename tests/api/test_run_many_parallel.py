@@ -1,0 +1,138 @@
+"""Parallel batch routing: run_many(workers=N) vs. the serial path.
+
+The worker path ships boards through the repro.io JSON codecs, so the
+contract is RunResult-JSON equality with the serial run (runtimes are
+wall-clock and necessarily differ — they are normalized out), plus
+in-place adoption of the routed geometry and in-order observer replay in
+the parent process.
+"""
+
+import pytest
+
+from repro import (
+    Board,
+    DesignRules,
+    MatchGroup,
+    Point,
+    Polyline,
+    RoutingSession,
+    SessionConfig,
+    Trace,
+)
+from repro.io import run_result_to_dict
+
+RULES = DesignRules(dgap=4.0, dobs=2.0, dprotect=2.0)
+
+
+def small_board(name, n=2, target=115.0):
+    board = Board.with_rect_outline(0, 0, 100, 20 + 25 * n, RULES)
+    board.name = name
+    members = []
+    for k in range(n):
+        members.append(
+            board.add_trace(
+                Trace(
+                    f"sig{k}",
+                    Polyline([Point(5, 15 + 25 * k), Point(95, 15 + 25 * k)]),
+                    width=1.0,
+                )
+            )
+        )
+    board.add_group(MatchGroup("bus", members=members, target_length=target))
+    return board
+
+
+def board_set():
+    return [small_board(f"b{k}", target=110.0 + 5.0 * k) for k in range(3)]
+
+
+def strip_runtimes(obj):
+    if isinstance(obj, dict):
+        return {k: strip_runtimes(v) for k, v in obj.items() if k != "runtime"}
+    if isinstance(obj, list):
+        return [strip_runtimes(v) for v in obj]
+    return obj
+
+
+class TestParallelEqualsSerial:
+    def test_results_equal_via_json_roundtrip(self):
+        serial = RoutingSession.run_many(board_set(), config="fast")
+        parallel = RoutingSession.run_many(board_set(), config="fast", workers=4)
+        assert [r.board for r in parallel] == ["b0", "b1", "b2"]
+        for rs, rp in zip(serial, parallel):
+            assert strip_runtimes(run_result_to_dict(rs)) == strip_runtimes(
+                run_result_to_dict(rp)
+            )
+
+    def test_session_config_object_round_trips(self):
+        config = SessionConfig.preset("fast")
+        config.tolerance = 5e-3
+        serial = RoutingSession.run_many(board_set(), config=config)
+        parallel = RoutingSession.run_many(board_set(), config=config, workers=2)
+        for rs, rp in zip(serial, parallel):
+            assert strip_runtimes(run_result_to_dict(rs)) == strip_runtimes(
+                run_result_to_dict(rp)
+            )
+
+    def test_routed_geometry_adopted_in_parent(self):
+        boards_serial = board_set()
+        boards_parallel = board_set()
+        RoutingSession.run_many(boards_serial, config="fast")
+        RoutingSession.run_many(boards_parallel, config="fast", workers=2)
+        for bs, bp in zip(boards_serial, boards_parallel):
+            for ts, tp in zip(bs.traces, bp.traces):
+                assert ts.name == tp.name
+                assert ts.length() == pytest.approx(tp.length(), abs=1e-9)
+            # group members were refreshed to the meandered traces
+            for gs, gp in zip(bs.groups, bp.groups):
+                for ms, mp in zip(gs.members, gp.members):
+                    assert ms.length() == pytest.approx(mp.length(), abs=1e-9)
+
+    def test_single_board_or_single_worker_stays_serial(self):
+        # No process pool spin-up for degenerate batch shapes.
+        results = RoutingSession.run_many([small_board("only")], config="fast", workers=8)
+        assert len(results) == 1 and results[0].ok()
+        results = RoutingSession.run_many(board_set(), config="fast", workers=1)
+        assert len(results) == 3
+
+
+class TestObserverReplay:
+    def test_observers_fire_in_parent_in_input_order(self):
+        events = []
+        RoutingSession.run_many(
+            board_set(),
+            config="fast",
+            workers=2,
+            on_stage_start=lambda s, st: events.append(("start", s.board.name, st.name)),
+            on_stage_end=lambda s, r: events.append(("end", s.board.name, r.name)),
+            on_member_done=lambda s, m: events.append(("member", s.board.name, m.name)),
+        )
+        # Stages arrive per board, boards in input order.
+        board_order = [e[1] for e in events]
+        assert board_order == sorted(board_order)
+        b0 = [e for e in events if e[1] == "b0"]
+        assert b0[0] == ("start", "b0", "region")
+        assert ("member", "b0", "sig0") in b0 and ("member", "b0", "sig1") in b0
+        assert b0[-1] == ("end", "b0", "drc")
+        # member reports fire between match start and match end
+        names = [(e[0], e[2]) for e in b0]
+        assert names.index(("start", "match")) < names.index(("member", "sig0"))
+        assert names.index(("member", "sig1")) < names.index(("end", "match"))
+
+
+class TestWorkersModeRestrictions:
+    def test_custom_stages_rejected(self):
+        from repro.api import LengthMatchingStage
+
+        with pytest.raises(ValueError):
+            RoutingSession.run_many(
+                board_set(), stages=[LengthMatchingStage()], workers=2
+            )
+
+    def test_custom_stages_fine_serially(self):
+        from repro.api import LengthMatchingStage
+
+        results = RoutingSession.run_many(
+            board_set(), stages=[LengthMatchingStage()]
+        )
+        assert all(len(r.stages) == 1 for r in results)

@@ -1,0 +1,102 @@
+"""Smoke tests for the perf-regression bench (``repro bench --perf``)."""
+
+import json
+
+import pytest
+
+from repro.bench.perf import make_drc_board, run_perf
+from repro.drc import check_board
+from repro.io import drc_report_to_dict
+
+
+@pytest.mark.smoke
+class TestRunPerfQuick:
+    @pytest.fixture(scope="class")
+    def payload(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("perf") / "BENCH_perf.json"
+        payload = run_perf(quick=True, out=str(out), verbose=False)
+        with open(out, "r", encoding="utf-8") as fh:
+            on_disk = json.load(fh)
+        assert on_disk == payload
+        return payload
+
+    def test_structure(self, payload):
+        assert payload["kind"] == "BENCH_perf"
+        assert payload["quick"] is True
+        assert set(payload["phases"]) == {"dtw", "drc", "extension", "session"}
+        assert payload["machine"]["cpu_count"] >= 1
+        assert payload["total_s"] > 0
+
+    def test_dtw_phase(self, payload):
+        rows = payload["phases"]["dtw"]
+        assert rows and all(r["identical"] for r in rows)
+        assert all(r["reference_s"] > 0 for r in rows)
+
+    def test_drc_phase(self, payload):
+        rows = payload["phases"]["drc"]
+        assert rows and all(r["identical"] for r in rows)
+        assert all(r["violations"] == 0 for r in rows)
+        # The grid path must already win clearly at the smallest scale.
+        assert rows[0]["speedup"] > 5.0
+
+    def test_session_phase(self, payload):
+        rows = payload["phases"]["session"]
+        assert rows and all(r["ok"] for r in rows)
+
+    def test_no_write_when_out_is_none(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        run_perf(quick=True, out=None, verbose=False)
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestMakeDrcBoard:
+    def test_replication_scales_and_stays_clean(self):
+        b1 = make_drc_board(1)
+        b2 = make_drc_board(2)
+        assert len(b2.traces) == 2 * len(b1.traces)
+        assert len(b2.obstacles) == 2 * len(b1.obstacles)
+        fast = check_board(b2, check_areas=False)
+        assert fast.is_clean()
+        assert drc_report_to_dict(fast) == drc_report_to_dict(
+            check_board(b2, check_areas=False, exhaustive=True)
+        )
+
+
+class TestCliPerf:
+    def test_bench_perf_quick_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "perf.json"
+        assert main(["bench", "--perf", "--quick", "--out", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "drc" in captured and str(out) in captured
+        data = json.loads(out.read_text())
+        assert data["kind"] == "BENCH_perf"
+
+    def test_bench_without_what_or_perf_errors(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench"]) == 2
+        assert "unless --perf" in capsys.readouterr().err
+
+    def test_bench_artefact_plus_perf_conflict_errors(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "table1", "--perf"]) == 2
+        assert "separate" in capsys.readouterr().err
+
+    def test_perf_only_flags_without_perf_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "table1", "--quick"]) == 2
+        assert "--quick" in capsys.readouterr().err
+        assert main(["bench", "table1", "--out", "x.json"]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_table_flags_with_perf_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "--perf", "--cases", "1"]) == 2
+        assert "--cases" in capsys.readouterr().err
+        assert main(["bench", "--perf", "--json"]) == 2
+        assert "--json" in capsys.readouterr().err
