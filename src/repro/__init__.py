@@ -82,6 +82,8 @@ from .api import (
     StageRecord,
     default_stages,
 )
+from . import scenarios
+from .scenarios import ScenarioSpec
 from .io import (
     board_from_json,
     board_to_json,
@@ -93,7 +95,7 @@ from .io import (
     save_result,
 )
 
-__version__ = "1.1.0"
+from ._version import __version__
 
 __all__ = [
     "Point",
@@ -141,6 +143,8 @@ __all__ = [
     "Stage",
     "StageRecord",
     "default_stages",
+    "scenarios",
+    "ScenarioSpec",
     "board_from_json",
     "board_to_json",
     "load_board",

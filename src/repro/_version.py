@@ -1,0 +1,8 @@
+"""The single source of the package version.
+
+Lives in its own leaf module so :mod:`repro.io` can stamp artifacts
+with the producing version without importing the package root (which
+imports :mod:`repro.io` back).
+"""
+
+__version__ = "1.2.0"

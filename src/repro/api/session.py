@@ -25,6 +25,7 @@ Observers hook member- and stage-level progress without subclassing::
 
 from __future__ import annotations
 
+import copy
 import time
 from typing import Callable, Iterable, List, Optional, Sequence, Union
 
@@ -154,6 +155,11 @@ class RoutingSession:
         ``strict`` may raise :class:`~repro.api.stages.StageFailure`.
         """
         result = RunResult(board=self.board.name, config=self.config.to_dict())
+        scenario = self.board.meta.get("scenario")
+        if scenario:
+            # Deep copy: the nested params dict must not alias board.meta
+            # (mutating one would silently corrupt the other's record).
+            result.provenance = copy.deepcopy(scenario)
         started = time.perf_counter()
         for stage in self.stages:
             if self.on_stage_start is not None:

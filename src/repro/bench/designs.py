@@ -12,16 +12,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
-from ..geometry import (
-    Point,
-    Polygon,
-    Polyline,
-    convex_hull,
-    offset_polyline,
-    rectangle,
-)
+from ..geometry import Point, Polyline, rectangle
 from ..model import (
     Board,
     DesignRuleArea,
@@ -30,6 +23,12 @@ from ..model import (
     MatchGroup,
     Trace,
     via,
+)
+from ..model.synth import (
+    build_decoupled_pair,
+    corridor_polygon,
+    error_profile,
+    pair_corridor,
 )
 
 # -- Table I ---------------------------------------------------------------------------
@@ -58,27 +57,11 @@ TABLE1_SPECS: Tuple[Table1Spec, ...] = (
 )
 
 
-def _error_profile(max_err: float, avg_err: float, size: int) -> List[float]:
-    """Per-trace relative deficits hitting the published max and average.
-
-    One trace carries the maximum deficit, one sits at zero (the longest
-    member defines the matching pressure, exactly like a real group), and
-    the middle traces ramp linearly around the value that lands the group
-    average exactly, clipped into [0, max_err].
-    """
-    if size < 2:
-        return [max_err]
-    if size == 2:
-        return [max_err, max(0.0, 2 * avg_err - max_err)]
-    k = size - 2  # middle traces
-    u = (size * avg_err - max_err) / k
-    u = max(0.0, min(u, max_err))
-    # Spread the middles +-30% around u without leaving [0, max_err].
-    half_span = min(0.3 * u, max_err - u, u)
-    middles = [
-        u + half_span * (2.0 * i / (k - 1) - 1.0) if k > 1 else u for i in range(k)
-    ]
-    return [max_err] + middles + [0.0]
+# Shared with the scenario generators; see repro.model.synth.
+_error_profile = error_profile
+_corridor_polygon = corridor_polygon
+_pair_corridor = pair_corridor
+_build_decoupled_pair = build_decoupled_pair
 
 
 def make_table1_case(case: int, tilt_deg: float = 3.0) -> Tuple[Board, Table1Spec]:
@@ -150,14 +133,6 @@ def _make_table1_single_ended(
     return board, spec
 
 
-def _corridor_polygon(start: Point, end: Point, half: float) -> Polygon:
-    d = (end - start).normalized()
-    n = d.perpendicular()
-    a = start - d * 2.0
-    b = end + d * 2.0
-    return Polygon([a + n * half, a - n * half, b - n * half, b + n * half])
-
-
 def _make_table1_differential(
     spec: Table1Spec, tilt_deg: float
 ) -> Tuple[Board, Table1Spec]:
@@ -203,92 +178,6 @@ def _make_table1_differential(
         board.set_routable_area(pair.name, corridor)
     board.add_group(group)
     return board, spec
-
-
-def _pair_corridor(pair: DifferentialPair, half: float) -> Polygon:
-    """Convex corridor containing the (bent) pair with ``half`` headroom."""
-    points = []
-    for trace in (pair.trace_p, pair.trace_n):
-        for side in (+1.0, -1.0):
-            band = offset_polyline(trace.path.simplified(), side * half)
-            points.extend(band.points)
-    return convex_hull(points)
-
-
-def _build_decoupled_pair(
-    name: str,
-    start: Point,
-    direction: Point,
-    pair_length: float,
-    width: float,
-    rule: float,
-    tiny_pattern: bool,
-    bend_deg: float = 18.0,
-) -> DifferentialPair:
-    """A realistic, imperfectly coupled pair of the requested mean length.
-
-    The pair follows a spine with one obtuse bend; P follows it cleanly
-    while N carries the real-world artefacts of Fig. 10: the corner node
-    split into several short steps (10(a)) and, optionally, a tiny
-    length-compensation pattern (10(b)).  The spine length is solved so
-    the *mean* of the two sub-trace lengths hits ``pair_length`` exactly.
-    """
-    normal = direction.perpendicular()
-    bend = math.radians(bend_deg)
-    d2 = direction.rotated(bend)
-
-    def build(run: float) -> DifferentialPair:
-        corner = start + direction * (run * 0.45)
-        end = corner + d2 * (run * 0.55)
-        spine = Polyline([start, corner, end])
-        path_p = offset_polyline(spine, +rule / 2.0)
-        path_n = offset_polyline(spine, -rule / 2.0)
-
-        # Fig. 10(a): split N's corner into three short collinear-ish
-        # steps (machine-precision corner representation).
-        n_pts: List[Point] = [path_n.points[0]]
-        n_corner = path_n.points[1]
-        n_pts.append(n_corner + (path_n.points[0] - n_corner).normalized() * 0.12)
-        n_pts.append(n_corner)
-        n_pts.append(n_corner + (path_n.points[2] - n_corner).normalized() * 0.12)
-        n_pts.append(path_n.points[2])
-
-        if tiny_pattern:
-            # Fig. 10(b): a tiny compensation pattern on N's second run,
-            # bending away from P.
-            h = rule * 0.6
-            w = rule * 0.6
-            base = n_corner + d2 * (run * 0.25)
-            n2 = d2.perpendicular()
-            if (base + n2 - path_p.points[1]).norm() < (
-                base - n2 - path_p.points[1]
-            ).norm():
-                n2 = -n2
-            insert = [
-                base,
-                base + n2 * h,
-                base + n2 * h + d2 * w,
-                base + d2 * w,
-            ]
-            n_pts = n_pts[:-1] + insert + [n_pts[-1]]
-
-        trace_p = Trace(name=f"{name}_P", path=path_p, width=width)
-        trace_n = Trace(name=f"{name}_N", path=Polyline(n_pts), width=width)
-        return DifferentialPair(
-            name=name, trace_p=trace_p, trace_n=trace_n, rule=rule
-        )
-
-    # Lengths are affine in the spine run, so a couple of corrections land
-    # the mean length exactly.
-    run = pair_length
-    pair = build(run)
-    for _ in range(3):
-        deficit = pair_length - pair.length()
-        if abs(deficit) < 1e-9:
-            break
-        run += deficit
-        pair = build(run)
-    return pair
 
 
 # -- Table II ------------------------------------------------------------------------------

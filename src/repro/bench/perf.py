@@ -23,6 +23,11 @@ Phases
                (full mode only — wall-clock only helps with >1 CPU, but
                the number records the process-pool overhead either way).
 
+``scenarios`` (opt-in via ``bench --perf --scenarios``) adds the
+scenario-backed scaling curve: end-to-end sessions over ``tiled``
+scenario boards of growing tile count, so throughput scaling is
+measured on generated workloads instead of the fixed paper designs.
+
 ``--quick`` shrinks every phase to its smallest scale with one repeat —
 the CI smoke configuration.
 """
@@ -261,6 +266,39 @@ def _phase_session(cases: Sequence[int], repeats: int) -> List[Dict[str, Any]]:
     return rows
 
 
+def _phase_scenarios(tiles: Sequence[int], repeats: int) -> List[Dict[str, Any]]:
+    """End-to-end sessions on generated ``tiled`` boards of growing size.
+
+    Every row regenerates its board from ``(tiled, seed=0, tiles=k)`` —
+    the provenance in BENCH_perf.json is enough to rebuild the exact
+    workload.
+    """
+    from ..scenarios import generate
+
+    rows: List[Dict[str, Any]] = []
+    for k in tiles:
+        times: List[float] = []
+        last = None
+        board = None
+        for _ in range(repeats):
+            board = generate("tiled", seed=0, params={"tiles": k})
+            session = RoutingSession(board, config=SessionConfig.preset("fast"))
+            t0 = time.perf_counter()
+            last = session.run()
+            times.append(time.perf_counter() - t0)
+        rows.append(
+            {
+                "tiles": k,
+                "members": sum(len(g.members) for g in last.groups),
+                "routed_segments": sum(len(t.segments()) for t in board.traces),
+                "run_s": _median(times),
+                "ok": bool(last.ok()),
+                "provenance": last.provenance,
+            }
+        )
+    return rows
+
+
 def _phase_batch(repeats: int) -> List[Dict[str, Any]]:
     cases = (1, 2)
 
@@ -291,11 +329,14 @@ def run_perf(
     quick: bool = False,
     out: Optional[str] = "BENCH_perf.json",
     verbose: bool = True,
+    scenarios: bool = False,
 ) -> Dict[str, Any]:
     """Run every perf phase and (optionally) write the JSON baseline.
 
     ``quick`` is the CI smoke configuration: smallest scales, one repeat.
-    Returns the payload; ``out=None`` skips writing.
+    ``scenarios`` adds the scenario-backed scaling curve (generated
+    ``tiled`` boards of growing size).  Returns the payload; ``out=None``
+    skips writing.
     """
     repeats = 1 if quick else 3
     started = time.perf_counter()
@@ -305,6 +346,10 @@ def run_perf(
         "extension": _phase_extension([4.0] if quick else [2.5, 4.0], repeats),
         "session": _phase_session([1] if quick else [1, 5], repeats),
     }
+    if scenarios:
+        phases["scenarios"] = _phase_scenarios(
+            [1, 2] if quick else [1, 2, 4, 8], repeats
+        )
     if not quick:
         phases["batch"] = _phase_batch(repeats=1)
     payload: Dict[str, Any] = {
@@ -351,6 +396,12 @@ def run_perf(
             print(
                 f"session   case={row['case']}  {row['run_s']:.3f} s"
                 f"  ok={row['ok']}"
+            )
+        for row in phases.get("scenarios", ()):
+            print(
+                f"scenarios tiles={row['tiles']}  members={row['members']:>3}"
+                f"  segments={row['routed_segments']:>5}"
+                f"  {row['run_s']:.3f} s  ok={row['ok']}"
             )
         for row in phases.get("batch", ()):
             print(

@@ -5,20 +5,31 @@ Subcommands::
     python -m repro route board.json --preset quality --out result.json
     python -m repro check board.json --json
     python -m repro render board.json -o board.svg --show-areas
+    python -m repro gen bga_escape --seed 7 --out board.json --svg board.svg
+    python -m repro gen --list
+    python -m repro corpus run --quick --outdir out
     python -m repro bench table1 --cases 1 --json
     python -m repro bench all --outdir out
     python -m repro bench --perf --quick
+    python -m repro bench --perf --scenarios
 
 ``route`` runs the full :class:`~repro.api.RoutingSession` pipeline and
 can persist the structured :class:`~repro.api.RunResult`; ``check`` is
-the stand-alone DRC gate; ``render`` draws a board; ``bench``
-regenerates the paper's tables and figures (the pre-redesign top-level
+the stand-alone DRC gate; ``render`` draws a board; ``gen`` builds a
+seeded :mod:`repro.scenarios` board (same scenario + seed + params ⇒
+byte-identical JSON); ``corpus run`` sweeps the scenario corpus and
+writes the aggregate report; ``bench`` regenerates the paper's tables
+and figures (the pre-redesign top-level
 ``table1``/``table2``/``figures``/``all`` spellings keep working as
 aliases) or, with ``--perf``, times the hot paths and writes the
-``BENCH_perf.json`` baseline (see PERFORMANCE.md).
+``BENCH_perf.json`` baseline (see PERFORMANCE.md; ``--scenarios`` adds
+the scenario-backed scaling curve).
 
-Exit codes: 0 on success, 1 when routing ends un-OK (failed stage or
-DRC violations) or a plain ``check`` finds violations, 2 on bad usage
+Exit codes (documented in README, gated by CI): **0** on success; **1**
+when routing ends un-OK (failed stage, missed targets, or DRC
+violations remain), when a plain ``check`` finds violations, when a
+``strict``-configured stage raises, or when ``corpus run`` misses its
+feasible-success gate; **2** on bad usage or unreadable/invalid input
 (argparse's convention).
 """
 
@@ -27,11 +38,23 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .api import RoutingSession, SessionConfig
+from .api.stages import StageFailure
 from .drc import check_board
-from .io import load_board, run_result_to_dict, save_result
+from .io import (
+    board_to_json,
+    corpus_report_to_dict,
+    load_board,
+    run_result_to_dict,
+    save_board,
+    save_result,
+)
+# The package root imports repro.scenarios anyway, so this costs nothing
+# extra at CLI start-up.
+from . import scenarios
+from .scenarios import CORPUS_GATE
 from .viz import render_board
 
 #: Legacy top-level spellings, silently rewritten to ``bench <what>``.
@@ -102,6 +125,77 @@ def _build_parser() -> argparse.ArgumentParser:
         "--show-areas", action="store_true", help="draw assigned routable areas"
     )
 
+    gen = sub.add_parser(
+        "gen", help="generate a seeded scenario board (repro.scenarios)"
+    )
+    gen.add_argument(
+        "scenario", nargs="?", default=None,
+        help="registered scenario name (see --list)",
+    )
+    gen.add_argument(
+        "--seed", type=int, default=None, metavar="S",
+        help="generator seed (default: 0)",
+    )
+    gen.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="override one generator parameter (repeatable; values parse "
+        "as JSON, falling back to strings)",
+    )
+    gen.add_argument(
+        "--out", default=None, metavar="BOARD.json",
+        help="write the board JSON (default: stdout)",
+    )
+    gen.add_argument(
+        "--svg", default=None, metavar="BOARD.svg", help="render the board"
+    )
+    gen.add_argument(
+        "--list", action="store_true",
+        help="describe every registered scenario (or just the named one) "
+        "and exit",
+    )
+
+    corpus = sub.add_parser(
+        "corpus", help="run the scenario corpus and write the aggregate report"
+    )
+    corpus.add_argument("action", choices=("run",), help="corpus action")
+    corpus.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke configuration: small boards, two seeds, serial",
+    )
+    corpus.add_argument(
+        "--outdir", default=None,
+        help="write corpus_report.json (and, with --save-boards, the "
+        "generated boards) under this directory; omit for stdout-only",
+    )
+    corpus.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="restrict to the named scenario (repeatable; default: all)",
+    )
+    corpus.add_argument(
+        "--seeds", type=int, nargs="+", default=None, metavar="S",
+        help="explicit seed list (default: 0 1 2, or 0 1 with --quick)",
+    )
+    corpus.add_argument(
+        "--preset", default="fast", choices=SessionConfig.PRESETS,
+        help="SessionConfig preset for every run (default: %(default)s)",
+    )
+    corpus.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="route the corpus in N processes (ignored with --quick)",
+    )
+    corpus.add_argument(
+        "--save-boards", action="store_true",
+        help="also write every generated board under <outdir>/boards/",
+    )
+    corpus.add_argument(
+        "--gate", type=float, default=CORPUS_GATE, metavar="RATE",
+        help="feasible success rate required to exit 0 (default: %(default)s)",
+    )
+    corpus.add_argument(
+        "--json", action="store_true",
+        help="print the aggregate report as JSON instead of the summary",
+    )
+
     bench = sub.add_parser(
         "bench",
         help="regenerate the paper's tables and figures, or run the perf bench",
@@ -117,6 +211,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--quick", action="store_true",
         help="with --perf: smallest scales, one repeat (the CI smoke run)",
+    )
+    bench.add_argument(
+        "--scenarios", action="store_true",
+        help="with --perf: add the scenario-backed scaling curve "
+        "(tiled boards of growing size)",
     )
     bench.add_argument(
         "--out", default=None, metavar="PERF.json",
@@ -186,6 +285,104 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.is_clean() else 1
 
 
+def _parse_param(text: str) -> tuple:
+    """One ``KEY=VALUE`` override; values parse as JSON, else strings."""
+    if "=" not in text:
+        raise ValueError(f"--param expects KEY=VALUE, got {text!r}")
+    key, raw = text.split("=", 1)
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return key, value
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    if args.list:
+        ignored = [
+            flag
+            for flag, used in (
+                ("--seed", args.seed is not None),
+                ("--param", bool(args.param)),
+                ("--out", args.out is not None),
+                ("--svg", args.svg is not None),
+            )
+            if used
+        ]
+        if ignored:
+            print(
+                f"error: {', '.join(ignored)} only applies when generating "
+                "a board, not to --list",
+                file=sys.stderr,
+            )
+            return 2
+        if args.scenario is not None:
+            try:
+                print(scenarios.describe(args.scenario))
+            except KeyError as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 2
+            return 0
+        for family in scenarios.list_scenarios():
+            print(family.describe())
+            print()
+        return 0
+    if args.scenario is None:
+        print(
+            "error: gen needs a scenario name (or --list)", file=sys.stderr
+        )
+        return 2
+    params: Dict[str, Any] = dict(
+        _parse_param(item) for item in args.param
+    )
+    try:
+        board = scenarios.generate(
+            args.scenario, seed=args.seed or 0, params=params
+        )
+    except KeyError as exc:
+        # Unknown scenario name (the message lists what exists).
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.out:
+        save_board(board, args.out)
+        print(f"wrote {args.out}")
+        notices = sys.stdout
+    else:
+        print(board_to_json(board))
+        # Stdout is the board JSON; keep it machine-parseable.
+        notices = sys.stderr
+    if args.svg:
+        render_board(board, path=args.svg)
+        print(f"wrote {args.svg}", file=notices)
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    if args.scenario is not None:
+        try:
+            for name in args.scenario:
+                scenarios.get(name)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    report = scenarios.run_corpus(
+        scenarios=args.scenario,
+        seeds=args.seeds,
+        quick=args.quick,
+        preset=args.preset,
+        workers=args.workers,
+        outdir=args.outdir,
+        save_boards=args.save_boards,
+        gate=args.gate,
+        verbose=not args.json,
+    )
+    if args.json:
+        # The same versioned envelope save_corpus_report writes, so
+        # redirected stdout round-trips through load_corpus_report.
+        print(json.dumps(corpus_report_to_dict(report), indent=2))
+    return 0 if report["summary"]["gate_passed"] else 1
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     board = load_board(args.board)
     render_board(
@@ -224,7 +421,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 2
         from .bench.perf import run_perf
 
-        run_perf(quick=args.quick, out=args.out or "BENCH_perf.json")
+        run_perf(
+            quick=args.quick,
+            out=args.out or "BENCH_perf.json",
+            scenarios=args.scenarios,
+        )
         return 0
     if args.what is None:
         print(
@@ -235,7 +436,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
     ignored = [
         flag
-        for flag, used in (("--quick", args.quick), ("--out", args.out is not None))
+        for flag, used in (
+            ("--quick", args.quick),
+            ("--out", args.out is not None),
+            ("--scenarios", args.scenarios),
+        )
         if used
     ]
     if ignored:
@@ -265,13 +470,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "route": _cmd_route,
         "check": _cmd_check,
         "render": _cmd_render,
+        "gen": _cmd_gen,
+        "corpus": _cmd_corpus,
         "bench": _cmd_bench,
     }[args.command]
     try:
         return handler(args)
+    except StageFailure as exc:
+        # A strict-configured stage refused the board: a real routing
+        # failure, reported like any other un-OK run (exit 1, no
+        # traceback).
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except (OSError, ValueError) as exc:
         # Bad input file, unreadable path, unsupported format version:
-        # user errors, not crashes.
+        # user errors, not crashes.  (Unknown scenario names are handled
+        # at their lookup sites — a KeyError reaching here is a bug and
+        # should crash loudly.)
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -12,9 +12,11 @@ lists.
 
 from __future__ import annotations
 
+import copy
 import json
 from typing import Any, Dict, List, Optional
 
+from ._version import __version__
 from .api.result import RunResult, StageRecord
 from .core import GroupReport, MemberReport
 from .drc import DrcReport, Violation, ViolationKind
@@ -32,6 +34,7 @@ from .model import (
 
 FORMAT_VERSION = 1
 RESULT_FORMAT_VERSION = 1
+CORPUS_FORMAT_VERSION = 1
 
 
 # -- encoding ---------------------------------------------------------------------
@@ -64,6 +67,9 @@ def board_to_dict(board: Board) -> Dict[str, Any]:
     return {
         "version": FORMAT_VERSION,
         "name": board.name,
+        # Deep copy: the snapshot must not alias the board's nested
+        # provenance dicts (same invariant as session/registry stamping).
+        "meta": copy.deepcopy(board.meta),
         "outline": _points(board.outline.points),
         "rules": {
             "default": _rules_dict(board.rules.default),
@@ -173,6 +179,10 @@ def board_from_dict(data: Dict[str, Any]) -> Board:
         outline=Polygon(_to_points(data["outline"])),
         rules=rules,
         name=data.get("name", ""),
+        # Documents written before the provenance field existed simply
+        # have no "meta" key.  Deep copy so the board never aliases the
+        # caller's dict.
+        meta=copy.deepcopy(data.get("meta", {})),
     )
 
     for t in data.get("traces", []):
@@ -322,8 +332,12 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
     """The full run artifact as a JSON-serialisable dictionary."""
     return {
         "version": RESULT_FORMAT_VERSION,
+        #: Which library version produced the artifact — provenance only,
+        #: never validated on load (older/newer artifacts stay loadable).
+        "repro_version": __version__,
         "board": result.board,
         "config": result.config,
+        "provenance": result.provenance,
         "stages": [
             {
                 "name": s.name,
@@ -354,6 +368,8 @@ def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
     return RunResult(
         board=data.get("board", ""),
         config=data.get("config", {}),
+        # Absent in artifacts saved before provenance stamping existed.
+        provenance=data.get("provenance"),
         stages=[
             StageRecord(
                 name=s["name"],
@@ -391,3 +407,48 @@ def load_result(path: str) -> RunResult:
     """Read a run artifact from a JSON file."""
     with open(path, "r", encoding="utf-8") as fh:
         return result_from_json(fh.read())
+
+
+# -- corpus reports -----------------------------------------------------------------
+
+
+def corpus_report_to_dict(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The corpus aggregate wrapped as a versioned, self-describing doc."""
+    # Envelope keys last so they always win over same-named report keys
+    # (a silently mis-versioned document would fail only at load time).
+    return {
+        **report,
+        "version": CORPUS_FORMAT_VERSION,
+        "kind": "corpus_report",
+        "repro_version": __version__,
+    }
+
+
+def corpus_report_from_dict(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Unwrap a corpus report; raises :class:`ValueError` on an unknown
+    format version or a document of another kind."""
+    kind = data.get("kind")
+    if kind != "corpus_report":
+        # Board and result documents share version numbers; the kind
+        # discriminator is what tells the three formats apart.
+        raise ValueError(f"not a corpus report (kind: {kind!r})")
+    version = data.get("version")
+    if version != CORPUS_FORMAT_VERSION:
+        raise ValueError(f"unsupported corpus report version: {version!r}")
+    # Strip only the format plumbing; repro_version stays readable (the
+    # producing version is data, even though a re-save re-stamps it).
+    return {k: v for k, v in data.items() if k not in ("version", "kind")}
+
+
+def save_corpus_report(report: Dict[str, Any], path: str) -> str:
+    """Write a corpus aggregate report to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(corpus_report_to_dict(report), fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def load_corpus_report(path: str) -> Dict[str, Any]:
+    """Read a corpus aggregate report from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return corpus_report_from_dict(json.load(fh))

@@ -6,6 +6,12 @@ from .diffpair import DifferentialPair
 from .obstacle import Obstacle, rect_keepout, via, via_grid
 from .group import MatchGroup, Member
 from .board import Board
+from .synth import (
+    build_decoupled_pair,
+    corridor_polygon,
+    error_profile,
+    pair_corridor,
+)
 
 __all__ = [
     "DesignRuleArea",
@@ -20,4 +26,8 @@ __all__ = [
     "MatchGroup",
     "Member",
     "Board",
+    "build_decoupled_pair",
+    "corridor_polygon",
+    "error_profile",
+    "pair_corridor",
 ]

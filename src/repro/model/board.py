@@ -9,7 +9,7 @@ given an explicit polygon it is allowed to meander inside.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..geometry import Polygon, rectangle
 from .diffpair import DifferentialPair
@@ -34,6 +34,12 @@ class Board:
     routable_areas: Dict[str, Polygon] = field(default_factory=dict)
     #: Optional identifier carried through serialization and run results.
     name: str = ""
+    #: Free-form provenance (JSON-serialisable scalars/dicts only).  The
+    #: scenario generators stamp ``meta["scenario"] = {name, seed, params}``
+    #: here; a :class:`~repro.api.RoutingSession` copies that entry into
+    #: the run's :class:`~repro.api.RunResult` so saved artifacts say
+    #: which reproducible input produced them.
+    meta: Dict[str, Any] = field(default_factory=dict)
 
     # -- construction ---------------------------------------------------------
 

@@ -1,0 +1,42 @@
+"""Seeded scenario generation and corpus evaluation.
+
+The paper evaluates on two proprietary board classes; this subsystem
+opens the workload space.  A :class:`ScenarioSpec` ``(name, seed,
+params)`` reproducibly describes one synthetic board, the registry
+catalogues the generator families (difficulty tags, expected
+feasibility, defaults), and the corpus runner sweeps generated boards
+through the :class:`~repro.api.RoutingSession` pipeline into one
+aggregate JSON report.
+
+Quickstart::
+
+    from repro.scenarios import generate, list_scenarios, run_corpus
+
+    board = generate("bga_escape", seed=7)       # reproducible Board
+    report = run_corpus(quick=True)              # aggregate dict
+"""
+
+from .spec import ScenarioSpec
+from .registry import (
+    ScenarioFamily,
+    describe,
+    generate,
+    get,
+    list_scenarios,
+    register,
+    scenario_names,
+)
+from .corpus import CORPUS_GATE, run_corpus
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioFamily",
+    "describe",
+    "generate",
+    "get",
+    "list_scenarios",
+    "register",
+    "scenario_names",
+    "CORPUS_GATE",
+    "run_corpus",
+]

@@ -1,0 +1,188 @@
+"""The corpus runner: sweep generated scenarios through the pipeline.
+
+``run_corpus`` generates every requested ``(scenario, seed)`` board,
+routes the whole batch through
+:meth:`repro.api.RoutingSession.run_many` (optionally across worker
+processes) and aggregates one JSON report: per-scenario success rates,
+error/skew statistics and timings, plus an overall verdict gated on the
+feasible-tagged subset.  The report round-trips through
+:func:`repro.io.save_corpus_report` and is what the ``corpus-smoke`` CI
+job uploads.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..api import RoutingSession
+from ..model import Board
+from .registry import ScenarioFamily, generate, get, list_scenarios
+from .spec import ScenarioSpec
+
+#: Minimum routed-and-DRC-clean rate over feasible-tagged scenarios for
+#: a corpus run to pass (what ``repro corpus run`` exits non-zero on).
+CORPUS_GATE = 0.9
+
+#: Seeds swept per scenario (``--quick`` keeps the first two).
+DEFAULT_SEEDS: Sequence[int] = (0, 1, 2)
+QUICK_SEEDS: Sequence[int] = (0, 1)
+
+
+def _board_skews(board: Board) -> List[float]:
+    return [pair.skew() for pair in board.pairs]
+
+
+def _case_metrics(board: Board, result) -> Dict[str, Any]:
+    """The per-(scenario, seed) row of the report."""
+    drc_clean = result.drc is not None and result.drc.is_clean()
+    skews = _board_skews(board)
+    return {
+        "board": board.name,
+        "provenance": board.meta.get("scenario"),
+        "ok": bool(result.ok()),
+        "drc_clean": drc_clean,
+        "drc_violations": len(result.drc) if result.drc is not None else None,
+        "max_error": result.max_error(),
+        "max_skew": max(skews) if skews else None,
+        "run_s": result.runtime,
+        "stages": {record.name: record.status for record in result.stages},
+    }
+
+
+def _aggregate(family: ScenarioFamily, cases: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """One scenario's aggregate block."""
+    oks = [c for c in cases if c["ok"]]
+    errors = [c["max_error"] for c in cases]
+    skews = [c["max_skew"] for c in cases if c["max_skew"] is not None]
+    times = [c["run_s"] for c in cases]
+    return {
+        "scenario": family.name,
+        "difficulty": family.difficulty,
+        "feasible": family.feasible,
+        "tags": list(family.tags),
+        "boards": len(cases),
+        "ok": len(oks),
+        "success_rate": len(oks) / len(cases) if cases else None,
+        "max_error_max": max(errors) if errors else None,
+        "max_error_avg": sum(errors) / len(errors) if errors else None,
+        "max_skew": max(skews) if skews else None,
+        "run_s_median": statistics.median(times) if times else None,
+        "run_s_total": sum(times),
+        "cases": cases,
+    }
+
+
+def run_corpus(
+    scenarios: Optional[Sequence[str]] = None,
+    seeds: Optional[Sequence[int]] = None,
+    quick: bool = False,
+    preset: str = "fast",
+    workers: Optional[int] = None,
+    outdir: Optional[str] = None,
+    save_boards: bool = False,
+    gate: float = CORPUS_GATE,
+    verbose: bool = False,
+) -> Dict[str, Any]:
+    """Generate, route and score a scenario corpus; returns the report.
+
+    ``quick`` is the CI smoke configuration: every scenario's
+    ``quick_overrides`` applied, two seeds, serial execution.  With an
+    ``outdir`` the aggregate report lands in
+    ``<outdir>/corpus_report.json`` (plus, with ``save_boards``, every
+    generated board — pre-route, as generated — under
+    ``<outdir>/boards/``).  The report's
+    ``summary.gate_passed`` is the corpus verdict: the success rate over
+    feasible-tagged scenarios must reach ``gate``.
+    """
+    from ..io import save_board, save_corpus_report
+
+    if scenarios is not None:
+        # Dedupe while keeping request order: a repeated name must not
+        # route its boards twice nor double-count in the gate statistics
+        # (aggregation is keyed by name).
+        families = []
+        for name in dict.fromkeys(scenarios):
+            families.append(get(name))
+    else:
+        families = list_scenarios()
+    # Seeds dedupe for the same reason scenario names do above: a
+    # repeated seed must not double-route nor double-count in the gate.
+    seeds = tuple(dict.fromkeys(seeds)) if seeds is not None else (
+        QUICK_SEEDS if quick else DEFAULT_SEEDS
+    )
+    if quick:
+        workers = None
+    if save_boards and outdir is None:
+        raise ValueError("save_boards requires an outdir to write into")
+
+    specs: List[ScenarioSpec] = []
+    boards: List[Board] = []
+    for family in families:
+        params = dict(family.quick_overrides) if quick else {}
+        for seed in seeds:
+            spec = ScenarioSpec(name=family.name, seed=seed, params=params)
+            specs.append(spec)
+            boards.append(generate(spec))
+
+    if outdir is not None and save_boards:
+        # Save *before* routing: the session mutates boards in place, and
+        # the flag promises the pristine generated inputs (the whole
+        # point of capturing a failing workload for replay).
+        boards_dir = os.path.join(outdir, "boards")
+        os.makedirs(boards_dir, exist_ok=True)
+        for board in boards:
+            save_board(board, os.path.join(boards_dir, f"{board.name}.json"))
+
+    started = time.perf_counter()
+    results = RoutingSession.run_many(boards, config=preset, workers=workers)
+    wall_s = time.perf_counter() - started
+
+    by_scenario: Dict[str, List[Dict[str, Any]]] = {f.name: [] for f in families}
+    for spec, board, result in zip(specs, boards, results):
+        case = _case_metrics(board, result)
+        by_scenario[spec.name].append(case)
+        if verbose:
+            print(
+                f"  {board.name:<24} ok={case['ok']!s:<5} "
+                f"err={case['max_error']:.5f} {case['run_s']:.2f}s"
+            )
+
+    aggregates = [_aggregate(family, by_scenario[family.name]) for family in families]
+    feasible = [a for a in aggregates if a["feasible"] and a["boards"]]
+    feasible_boards = sum(a["boards"] for a in feasible)
+    feasible_ok = sum(a["ok"] for a in feasible)
+    feasible_rate = feasible_ok / feasible_boards if feasible_boards else None
+    report: Dict[str, Any] = {
+        "quick": quick,
+        "preset": preset,
+        "seeds": list(seeds),
+        "workers": workers,
+        "wall_s": wall_s,
+        "scenarios": aggregates,
+        "summary": {
+            "boards": len(boards),
+            "ok": sum(a["ok"] for a in aggregates),
+            "feasible_boards": feasible_boards,
+            "feasible_ok": feasible_ok,
+            "feasible_success_rate": feasible_rate,
+            "gate": gate,
+            "gate_passed": feasible_rate is not None and feasible_rate >= gate,
+        },
+    }
+
+    if outdir is not None:
+        os.makedirs(outdir, exist_ok=True)
+        save_corpus_report(report, os.path.join(outdir, "corpus_report.json"))
+    if verbose:
+        summary = report["summary"]
+        print(
+            f"corpus: {summary['ok']}/{summary['boards']} ok, feasible "
+            f"{summary['feasible_ok']}/{summary['feasible_boards']} "
+            f"(gate {gate:.0%}: "
+            f"{'passed' if summary['gate_passed'] else 'FAILED'}), "
+            f"{wall_s:.1f}s wall"
+        )
+    return report

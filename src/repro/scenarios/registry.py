@@ -1,0 +1,311 @@
+"""The scenario registry: one catalogue of every generator family.
+
+Each entry couples a builder from :mod:`repro.scenarios.generators` with
+its metadata — a description, default parameters, a difficulty tag and
+an *expected-feasibility* flag (is a routed result expected to come back
+DRC-clean and within tolerance under the default corpus preset?).  The
+corpus runner gates its success criterion on the feasible-tagged subset;
+infeasibility-by-design scenarios (stress shapes) would register with
+``feasible=False`` and only contribute timing data.
+
+:func:`generate` is the one entry point everything else uses: it draws
+the board from ``random.Random(seed)``, names it, and stamps the full
+``(name, seed, effective params)`` provenance into ``Board.meta`` so the
+recipe travels with the board through serialization and into every
+:class:`~repro.api.RunResult`.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..model import Board
+from . import generators
+from .spec import ScenarioSpec
+
+Builder = Callable[..., Board]
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """One registered generator plus its catalogue metadata."""
+
+    name: str
+    builder: Builder
+    description: str
+    #: Coarse routing-difficulty tag: "easy" | "medium" | "hard".
+    difficulty: str
+    #: Expected routed-and-DRC-clean under the default corpus preset.
+    feasible: bool
+    #: Default parameters (the spec's ``params`` override these).
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    #: Overrides applied by ``--quick`` corpus runs (smaller boards).
+    quick_overrides: Mapping[str, Any] = field(default_factory=dict)
+    #: Free-form search tags ("bus", "bga", "pairs", ...).
+    tags: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """A one-paragraph human-readable catalogue entry."""
+        lines = [
+            f"{self.name} [{self.difficulty}"
+            f"{', feasible' if self.feasible else ', stress'}]",
+            f"  {self.description}",
+            f"  tags: {', '.join(self.tags) or '-'}",
+            "  defaults: "
+            + ", ".join(f"{k}={v!r}" for k, v in sorted(self.defaults.items())),
+        ]
+        return "\n".join(lines)
+
+
+_REGISTRY: Dict[str, ScenarioFamily] = {}
+
+
+def register(family: ScenarioFamily) -> ScenarioFamily:
+    """Add a family to the catalogue (duplicate names are an error)."""
+    if family.name in _REGISTRY:
+        raise ValueError(f"scenario '{family.name}' is already registered")
+    if family.difficulty not in ("easy", "medium", "hard"):
+        raise ValueError(f"unknown difficulty tag {family.difficulty!r}")
+    _REGISTRY[family.name] = family
+    return family
+
+
+def list_scenarios(
+    feasible_only: bool = False, tag: Optional[str] = None
+) -> List[ScenarioFamily]:
+    """All registered families, name-sorted, optionally filtered."""
+    out = [
+        f
+        for f in _REGISTRY.values()
+        if (not feasible_only or f.feasible) and (tag is None or tag in f.tags)
+    ]
+    return sorted(out, key=lambda f: f.name)
+
+
+def scenario_names() -> List[str]:
+    """Just the registered names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get(name: str) -> ScenarioFamily:
+    """The named family; raises ``KeyError`` listing what exists."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario '{name}'; registered: {', '.join(scenario_names())}"
+        ) from None
+
+
+def describe(name: str) -> str:
+    """The catalogue paragraph for one family."""
+    return get(name).describe()
+
+
+def generate(
+    spec: Union[ScenarioSpec, str],
+    seed: Optional[int] = None,
+    params: Optional[Mapping[str, Any]] = None,
+) -> Board:
+    """Build the board a spec describes (the reproducibility entry point).
+
+    Accepts a :class:`ScenarioSpec` or a name plus ``seed``/``params``.
+    The returned board is named ``<scenario>-s<seed>`` and carries
+    ``meta["scenario"] = {name, seed, params}`` with the *effective*
+    (defaults-merged) parameters, so the exact board can be rebuilt from
+    the provenance entry alone.
+    """
+    if isinstance(spec, str):
+        spec = ScenarioSpec(name=spec, seed=seed or 0, params=dict(params or {}))
+    elif seed is not None or params is not None:
+        raise ValueError("pass seed/params either in the spec or alongside a name")
+    family = get(spec.name)
+    unknown = set(spec.params) - set(family.defaults)
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) for scenario '{spec.name}': "
+            f"{', '.join(sorted(unknown))}"
+        )
+    # Deep copies throughout: registry defaults may hold mutable values
+    # (tiled's base_params dict), and neither the builder nor a caller
+    # poking at Board.meta may be allowed to corrupt the frozen catalogue
+    # or another board's provenance.
+    effective = copy.deepcopy({**family.defaults, **spec.params})
+    try:
+        board = family.builder(random.Random(spec.seed), **effective)
+    except TypeError as exc:
+        # Params are the only external input a builder sees; a TypeError
+        # here is a wrongly-typed or wrongly-shaped value (e.g. a nested
+        # base_params typo), i.e. a usage error, not a crash.
+        raise ValueError(
+            f"invalid parameter value(s) for scenario '{spec.name}': {exc}"
+        ) from exc
+    board.name = spec.board_name
+    board.meta["scenario"] = {
+        "name": spec.name,
+        "seed": spec.seed,
+        "params": {key: copy.deepcopy(effective[key]) for key in sorted(effective)},
+    }
+    return board
+
+
+# -- the built-in catalogue -------------------------------------------------------------
+
+register(
+    ScenarioFamily(
+        name="serpentine_bus",
+        builder=generators.serpentine_bus,
+        description=(
+            "Parallel single-ended bus in tilted corridors; pure "
+            "serpentine length matching with no obstacles."
+        ),
+        difficulty="easy",
+        feasible=True,
+        defaults=dict(
+            traces=6,
+            length=120.0,
+            dgap=4.0,
+            width=1.0,
+            corridor_half=12.0,
+            max_deficit=0.18,
+            tilt_max_deg=6.0,
+        ),
+        quick_overrides=dict(traces=3, length=80.0),
+        tags=("bus", "single-ended", "no-obstacles"),
+    )
+)
+
+register(
+    ScenarioFamily(
+        name="bga_escape",
+        builder=generators.bga_escape,
+        description=(
+            "BGA-style escape fanout: staggered escape depths out of a "
+            "pad matrix, with via obstacles seeded inside every corridor."
+        ),
+        difficulty="medium",
+        feasible=True,
+        defaults=dict(
+            traces=5,
+            length=110.0,
+            dgap=4.0,
+            width=0.9,
+            corridor_half=11.0,
+            pad_rows=4,
+            pad_cols=5,
+            pad_radius=1.8,
+            vias_per_corridor=2,
+            max_stagger=0.16,
+        ),
+        quick_overrides=dict(traces=3, length=80.0, pad_rows=2, pad_cols=3),
+        tags=("bga", "escape", "obstacles", "single-ended"),
+    )
+)
+
+register(
+    ScenarioFamily(
+        name="diffpair_cluster",
+        builder=generators.diffpair_cluster,
+        description=(
+            "Decoupled differential pairs (split corners, tiny "
+            "compensation patterns) matched to one cluster target via "
+            "MSDTW conversion and restoration."
+        ),
+        difficulty="medium",
+        feasible=True,
+        defaults=dict(
+            pairs=3,
+            length=110.0,
+            dgap=4.0,
+            width=0.6,
+            rule=1.8,
+            corridor_half=24.0,
+            max_deficit=0.16,
+            tilt_max_deg=5.0,
+        ),
+        # Shorter clusters leave the pair restoration a residual the
+        # top-up cannot close; 95 is the shortest robust quick length.
+        quick_overrides=dict(pairs=2, length=95.0),
+        tags=("pairs", "msdtw", "decoupling"),
+    )
+)
+
+register(
+    ScenarioFamily(
+        name="obstacle_maze",
+        builder=generators.obstacle_maze,
+        description=(
+            "A single trace threading a chicane of staggered keep-out "
+            "walls while finding its extra length — obstacle-aware "
+            "meandering under tight passages."
+        ),
+        difficulty="hard",
+        feasible=True,
+        defaults=dict(
+            length=90.0,
+            dgap=3.0,
+            width=0.8,
+            corridor_half=16.0,
+            walls=4,
+            wall_thickness=2.5,
+            deficit=0.14,
+        ),
+        quick_overrides=dict(length=70.0, walls=3),
+        tags=("maze", "obstacles", "single-ended"),
+    )
+)
+
+register(
+    ScenarioFamily(
+        name="mixed_groups",
+        builder=generators.mixed_groups,
+        description=(
+            "One matching group mixing straight single-ended traces with "
+            "decoupled differential pairs — both router dispatch paths "
+            "under a single target and tolerance."
+        ),
+        difficulty="medium",
+        feasible=True,
+        defaults=dict(
+            traces=3,
+            pairs=1,
+            length=100.0,
+            dgap=4.0,
+            se_width=1.0,
+            pair_width=0.6,
+            rule=1.8,
+            corridor_half=18.0,
+            max_deficit=0.15,
+            tilt_max_deg=4.0,
+        ),
+        quick_overrides=dict(traces=2, length=80.0),
+        tags=("mixed", "pairs", "single-ended"),
+    )
+)
+
+register(
+    ScenarioFamily(
+        name="tiled",
+        builder=generators.tiled,
+        description=(
+            "Scale-sweep wrapper: N independent seeded instances of a "
+            "base scenario stacked into one board — the scaling axis for "
+            "throughput and DRC benchmarks."
+        ),
+        difficulty="medium",
+        feasible=True,
+        defaults=dict(
+            base="serpentine_bus",
+            tiles=2,
+            gap=12.0,
+            base_params={},
+        ),
+        quick_overrides=dict(
+            tiles=2, base_params={"traces": 2, "length": 70.0}
+        ),
+        tags=("scale", "wrapper"),
+    )
+)

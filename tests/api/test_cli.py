@@ -2,11 +2,18 @@
 
 import json
 import os
+import subprocess
+import sys
 
 import pytest
 
 from repro import Board, DesignRules, MatchGroup, Point, Polyline, Trace, save_board
 from repro.cli import main
+
+SRC_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "src",
+)
 
 GOLDEN = os.path.join(
     os.path.dirname(os.path.dirname(__file__)), "data", "route_result.golden.json"
@@ -30,12 +37,13 @@ def golden_board() -> Board:
 
 
 def normalize(obj):
-    """Strip runtimes and round floats so the comparison is deterministic."""
+    """Strip runtimes (and the version stamp, which changes per release)
+    and round floats so the comparison is deterministic."""
     if isinstance(obj, dict):
         return {
             k: normalize(v)
             for k, v in obj.items()
-            if k not in ("runtime", "aidt_runtime", "ours_runtime")
+            if k not in ("runtime", "aidt_runtime", "ours_runtime", "repro_version")
         }
     if isinstance(obj, list):
         return [normalize(v) for v in obj]
@@ -135,3 +143,205 @@ class TestBench:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["nonsense"])
+
+
+@pytest.mark.smoke
+class TestGen:
+    def test_gen_is_byte_deterministic(self, tmp_path, capsys):
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        assert main(["gen", "serpentine_bus", "--seed", "3", "--out", a]) == 0
+        assert main(["gen", "serpentine_bus", "--seed", "3", "--out", b]) == 0
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_gen_stdout_and_params(self, capsys):
+        code = main(["gen", "obstacle_maze", "--seed", "1", "--param", "walls=2"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "obstacle_maze-s1"
+        assert payload["meta"]["scenario"]["params"]["walls"] == 2
+
+    def test_gen_svg(self, tmp_path, capsys):
+        svg = str(tmp_path / "b.svg")
+        out = str(tmp_path / "b.json")
+        assert main(["gen", "bga_escape", "--out", out, "--svg", svg]) == 0
+        assert os.path.getsize(svg) > 0
+
+    def test_gen_svg_without_out_keeps_stdout_parseable(self, tmp_path, capsys):
+        svg = str(tmp_path / "b.svg")
+        assert main(["gen", "bga_escape", "--svg", svg]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # no trailing notice on stdout
+        assert payload["name"] == "bga_escape-s0"
+        assert "wrote" in captured.err
+
+    def test_gen_list(self, capsys):
+        assert main(["gen", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "serpentine_bus" in out and "tiled" in out
+
+    def test_gen_list_one_scenario(self, capsys):
+        assert main(["gen", "obstacle_maze", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "obstacle_maze" in out and "serpentine_bus" not in out
+
+    def test_gen_list_unknown_scenario_is_usage_error(self, capsys):
+        assert main(["gen", "nope", "--list"]) == 2
+
+    def test_gen_list_rejects_generation_flags(self, tmp_path, capsys):
+        out = str(tmp_path / "x.json")
+        code = main(["gen", "serpentine_bus", "--seed", "3", "--out", out, "--list"])
+        assert code == 2
+        assert not os.path.exists(out)
+        err = capsys.readouterr().err
+        assert "--seed" in err and "--out" in err
+
+    def test_gen_without_scenario_is_usage_error(self, capsys):
+        assert main(["gen"]) == 2
+
+    def test_gen_unknown_scenario_is_usage_error(self, capsys):
+        assert main(["gen", "nope"]) == 2
+        assert "registered" in capsys.readouterr().err
+
+    def test_gen_badly_typed_param_is_usage_error(self, capsys):
+        assert main(["gen", "serpentine_bus", "--param", "traces=abc"]) == 2
+        assert "invalid parameter" in capsys.readouterr().err
+
+    def test_gen_bad_nested_param_is_usage_error(self, capsys):
+        code = main(["gen", "tiled", "--param", 'base_params={"typo": 1}'])
+        assert code == 2
+        assert "invalid parameter" in capsys.readouterr().err
+
+    def test_gen_zero_members_rejected(self, capsys):
+        for scenario in ("serpentine_bus", "bga_escape"):
+            assert main(["gen", scenario, "--param", "traces=0"]) == 2
+            assert "count must be >= 1" in capsys.readouterr().err
+
+
+@pytest.mark.smoke
+class TestCorpus:
+    def test_corpus_run_quick_writes_report(self, tmp_path, capsys):
+        outdir = str(tmp_path / "out")
+        code = main(["corpus", "run", "--quick", "--outdir", outdir])
+        assert code == 0
+        with open(os.path.join(outdir, "corpus_report.json")) as fh:
+            payload = json.load(fh)
+        assert payload["kind"] == "corpus_report"
+        assert payload["summary"]["gate_passed"] is True
+        assert "gate 90%: passed" in capsys.readouterr().out
+
+    def test_corpus_unreachable_gate_fails(self, tmp_path, capsys):
+        code = main(
+            [
+                "corpus", "run", "--quick", "--outdir", str(tmp_path / "o"),
+                "--scenario", "serpentine_bus", "--gate", "1.1", "--json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["gate_passed"] is False
+        # --json emits the same envelope save_corpus_report writes.
+        assert payload["kind"] == "corpus_report"
+
+
+def dirty_board() -> Board:
+    """Two traces well inside each other's d_gap — DRC can never pass."""
+    rules = DesignRules(dgap=8.0, dobs=2.0, dprotect=2.0)
+    board = Board.with_rect_outline(0.0, 0.0, 100.0, 40.0, rules)
+    board.name = "dirty"
+    board.add_trace(
+        Trace("a", Polyline([Point(5.0, 10.0), Point(95.0, 10.0)]), width=1.0)
+    )
+    board.add_trace(
+        Trace("b", Polyline([Point(5.0, 13.0), Point(95.0, 13.0)]), width=1.0)
+    )
+    return board
+
+
+def run_cli(args, cwd):
+    """The CLI exactly as CI invokes it: a real subprocess."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=str(cwd),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestExitCodes:
+    """The documented contract: non-zero whenever violations remain.
+
+    These run the real ``python -m repro`` subprocess so the full wiring
+    (``__main__`` -> ``SystemExit`` -> shell status) is what is tested,
+    not just the return value of :func:`repro.cli.main`.
+    """
+
+    @pytest.fixture
+    def dirty_file(self, tmp_path):
+        path = str(tmp_path / "dirty.json")
+        save_board(dirty_board(), path)
+        return path
+
+    @pytest.fixture
+    def clean_file(self, tmp_path):
+        path = str(tmp_path / "clean.json")
+        save_board(golden_board(), path)
+        return path
+
+    def test_check_clean_exits_zero(self, clean_file, tmp_path):
+        assert run_cli(["check", clean_file], tmp_path).returncode == 0
+
+    def test_check_violations_exit_nonzero(self, dirty_file, tmp_path):
+        proc = run_cli(["check", dirty_file], tmp_path)
+        assert proc.returncode == 1
+        assert "trace_clearance" in proc.stdout
+
+    def test_route_with_remaining_violations_exits_nonzero(
+        self, dirty_file, tmp_path
+    ):
+        # No matching group: the match stage skips, DRC still gates.
+        proc = run_cli(["route", dirty_file, "--quiet"], tmp_path)
+        assert proc.returncode == 1
+        assert "FAILED" in proc.stdout
+
+    def test_route_clean_exits_zero(self, clean_file, tmp_path):
+        proc = run_cli(
+            ["route", clean_file, "--preset", "fast", "--quiet"], tmp_path
+        )
+        assert proc.returncode == 0
+
+    def test_missing_board_file_is_usage_error(self, tmp_path):
+        assert run_cli(["check", "no_such.json"], tmp_path).returncode == 2
+
+    def test_strict_stage_failure_exits_one_without_traceback(
+        self, dirty_file, tmp_path, monkeypatch
+    ):
+        # In-process: route a dirty board with a strict DRC stage and
+        # assert StageFailure maps to exit 1 (not a crash/traceback).
+        from repro.api import RoutingSession, SessionConfig
+        from repro.api.stages import StageFailure
+        from repro import load_board
+
+        config = SessionConfig.preset("fast")
+        config.drc.strict = True
+        with pytest.raises(StageFailure):
+            RoutingSession(load_board(dirty_file), config).run()
+
+        import repro.cli as cli
+
+        original_preset = SessionConfig.preset
+
+        def strict_preset(name):
+            cfg = original_preset(name)
+            cfg.drc.strict = True
+            return cfg
+
+        monkeypatch.setattr(
+            cli.SessionConfig, "preset", staticmethod(strict_preset)
+        )
+        assert cli.main(["route", dirty_file, "--quiet"]) == 1

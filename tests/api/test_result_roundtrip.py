@@ -121,6 +121,29 @@ class TestRoundTrip:
         with pytest.raises(ValueError):
             run_result_from_dict(data)
 
+    def test_provenance_roundtrips(self):
+        result = sample_result()
+        result.provenance = {"name": "serpentine_bus", "seed": 4, "params": {}}
+        rebuilt = run_result_from_dict(run_result_to_dict(result))
+        assert rebuilt == result
+        assert rebuilt.provenance == result.provenance
+
+    def test_version_stamp_recorded(self):
+        from repro import __version__
+
+        data = run_result_to_dict(sample_result())
+        assert data["repro_version"] == __version__
+
+    def test_pre_provenance_artifacts_still_load(self):
+        """Backward compat: documents saved before the provenance and
+        version fields existed have neither key and must load as None."""
+        data = run_result_to_dict(sample_result())
+        del data["provenance"]
+        del data["repro_version"]
+        rebuilt = run_result_from_dict(data)
+        assert rebuilt.provenance is None
+        assert rebuilt == sample_result()
+
     def test_live_session_result_roundtrips(self):
         rules = DesignRules(dgap=4.0, dobs=2.0, dprotect=2.0)
         board = Board.with_rect_outline(0, 0, 100, 40, rules)

@@ -1,0 +1,102 @@
+"""Corpus runner tests: aggregation, gating, artifacts, parallel path."""
+
+import os
+
+import pytest
+
+from repro.io import load_board, load_corpus_report
+from repro.scenarios import CORPUS_GATE, run_corpus
+
+
+@pytest.mark.smoke
+def test_quick_corpus_passes_gate(tmp_path):
+    outdir = str(tmp_path / "corpus")
+    report = run_corpus(quick=True, outdir=outdir)
+
+    summary = report["summary"]
+    assert summary["gate_passed"], summary
+    assert summary["feasible_success_rate"] >= CORPUS_GATE
+    assert summary["boards"] >= 10  # >= 5 families x 2 seeds
+
+    # Every case row is self-describing: provenance names the exact
+    # (scenario, seed, params) recipe that rebuilds its board.
+    for aggregate in report["scenarios"]:
+        assert aggregate["boards"] == len(aggregate["cases"])
+        assert 0 <= aggregate["ok"] <= aggregate["boards"]
+        for case in aggregate["cases"]:
+            prov = case["provenance"]
+            assert prov["name"] == aggregate["scenario"]
+            assert case["board"] == f"{prov['name']}-s{prov['seed']}"
+
+    # The aggregate report landed on disk and round-trips through io.
+    loaded = load_corpus_report(os.path.join(outdir, "corpus_report.json"))
+    assert loaded["summary"] == summary
+
+
+def test_corpus_subset_and_board_artifacts(tmp_path):
+    outdir = str(tmp_path / "corpus")
+    report = run_corpus(
+        scenarios=["serpentine_bus"],
+        seeds=(0, 1),
+        quick=False,
+        outdir=outdir,
+        save_boards=True,
+    )
+    assert [a["scenario"] for a in report["scenarios"]] == ["serpentine_bus"]
+    board = load_board(os.path.join(outdir, "boards", "serpentine_bus-s1.json"))
+    assert board.meta["scenario"]["seed"] == 1
+    # Saved artifacts are the pristine *inputs* (pre-route), so a failing
+    # workload replays: byte-identical to regenerating from provenance.
+    from repro.io import board_to_json
+    from repro.scenarios import generate
+
+    assert board_to_json(board) == board_to_json(
+        generate("serpentine_bus", seed=1)
+    )
+
+
+def test_corpus_parallel_workers_match_serial():
+    kwargs = dict(scenarios=["serpentine_bus", "obstacle_maze"], seeds=(0, 1))
+    serial = run_corpus(workers=None, **kwargs)
+    parallel = run_corpus(workers=2, **kwargs)
+    # Timings differ between runs; outcomes and provenance must not.
+    for a_serial, a_parallel in zip(serial["scenarios"], parallel["scenarios"]):
+        assert a_serial["ok"] == a_parallel["ok"]
+        assert a_serial["max_error_max"] == a_parallel["max_error_max"]
+        for c_serial, c_parallel in zip(a_serial["cases"], a_parallel["cases"]):
+            assert c_serial["provenance"] == c_parallel["provenance"]
+            assert c_serial["ok"] == c_parallel["ok"]
+
+
+def test_save_boards_requires_outdir():
+    with pytest.raises(ValueError, match="outdir"):
+        run_corpus(scenarios=["obstacle_maze"], seeds=(0,), save_boards=True)
+
+
+def test_wrong_kind_document_rejected(tmp_path):
+    """A same-versioned board/result JSON must not load as a corpus report."""
+    from repro.io import save_board
+    from repro.scenarios import generate
+
+    path = str(tmp_path / "board.json")
+    save_board(generate("obstacle_maze", seed=0), path)
+    with pytest.raises(ValueError, match="not a corpus report"):
+        load_corpus_report(path)
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(KeyError):
+        run_corpus(scenarios=["nope"])
+
+
+def test_duplicate_scenario_names_deduped():
+    report = run_corpus(scenarios=["obstacle_maze", "obstacle_maze"], seeds=(0,))
+    assert [a["scenario"] for a in report["scenarios"]] == ["obstacle_maze"]
+    assert report["summary"]["boards"] == 1
+    assert report["summary"]["feasible_boards"] == 1
+
+
+def test_duplicate_seeds_deduped():
+    report = run_corpus(scenarios=["obstacle_maze"], seeds=(0, 0, 1))
+    assert report["summary"]["boards"] == 2
+    assert report["seeds"] == [0, 1]

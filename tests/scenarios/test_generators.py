@@ -1,0 +1,116 @@
+"""Generator invariants, property-style over every registered family.
+
+Three contracts hold for *any* registered scenario at *any* seed:
+
+1. **Determinism** — the same ``(name, seed, params)`` yields
+   byte-identical board JSON, twice and after an io round-trip;
+2. **Structural sanity** — the pre-route board is DRC-clean, every
+   polyline is non-degenerate, and all copper lies inside the outline
+   (and inside its assigned routable area);
+3. **Feasibility** — a feasible-tagged scenario routes to target and
+   comes back DRC-clean under the default corpus preset.
+"""
+
+import pytest
+
+from repro.api import RoutingSession
+from repro.drc import check_board
+from repro.geometry import polyline_inside_polygon
+from repro.io import board_from_json, board_to_dict, board_to_json
+from repro.scenarios import generate, list_scenarios
+
+SEEDS = (0, 1, 7)
+
+#: Every (family, seed) pair under test, small params for speed.
+CASES = [
+    pytest.param(family, seed, id=f"{family.name}-s{seed}")
+    for family in list_scenarios()
+    for seed in SEEDS
+]
+
+
+def quick_board(family, seed):
+    return generate(family.name, seed=seed, params=dict(family.quick_overrides))
+
+
+def all_polylines(board):
+    for trace in board.traces:
+        yield trace.name, trace.path
+    for pair in board.pairs:
+        yield pair.trace_p.name, pair.trace_p.path
+        yield pair.trace_n.name, pair.trace_n.path
+
+
+@pytest.mark.parametrize("family,seed", CASES)
+def test_generation_is_byte_deterministic(family, seed):
+    first = board_to_json(quick_board(family, seed))
+    second = board_to_json(quick_board(family, seed))
+    assert first == second
+
+
+@pytest.mark.parametrize("family,seed", CASES)
+def test_board_roundtrips_through_io(family, seed):
+    board = quick_board(family, seed)
+    rebuilt = board_from_json(board_to_json(board))
+    assert board_to_dict(rebuilt) == board_to_dict(board)
+    assert rebuilt.meta == board.meta
+
+
+@pytest.mark.parametrize("family,seed", CASES)
+def test_pre_route_structural_sanity(family, seed):
+    board = quick_board(family, seed)
+    assert board.traces or board.pairs
+    assert board.groups, "every scenario must pose a matching problem"
+    for name, path in all_polylines(board):
+        assert len(path) >= 2, f"{name}: degenerate polyline"
+        assert path.min_segment_length() > 0.0, f"{name}: zero-length segment"
+        assert polyline_inside_polygon(path, board.outline), (
+            f"{name}: copper outside the outline"
+        )
+    for member_name, area in board.routable_areas.items():
+        assert polyline_inside_polygon(
+            _member_path(board, member_name), area
+        ), f"{member_name}: initial path outside its routable area"
+    report = check_board(board)
+    assert report.is_clean(), f"pre-route violations:\n{report}"
+
+
+def _member_path(board, member_name):
+    for trace in board.traces:
+        if trace.name == member_name:
+            return trace.path
+    pair = board.pair_by_name(member_name)
+    # Either sub-trace works as the containment witness; P is arbitrary.
+    return pair.trace_p.path
+
+
+FEASIBLE_CASES = [
+    pytest.param(family, seed, id=f"{family.name}-s{seed}")
+    for family in list_scenarios(feasible_only=True)
+    for seed in (0, 1)
+]
+
+
+@pytest.mark.parametrize("family,seed", FEASIBLE_CASES)
+def test_feasible_scenarios_route_clean(family, seed):
+    board = quick_board(family, seed)
+    result = RoutingSession(board, config="fast").run()
+    assert result.ok(), result.summary()
+    assert result.drc is not None and result.drc.is_clean()
+    assert result.provenance == board.meta["scenario"]
+    for group in board.groups:
+        assert group.is_matched(), f"group {group.name} missed target"
+
+
+def test_tiled_scales_linearly():
+    small = generate("tiled", seed=0, params={"tiles": 1})
+    big = generate("tiled", seed=0, params={"tiles": 3})
+    assert len(big.traces) == 3 * len(small.traces)
+    assert len(big.groups) == 3 * len(small.groups)
+    assert len(big.routable_areas) == 3 * len(small.routable_areas)
+
+
+def test_different_seeds_differ():
+    assert board_to_json(generate("serpentine_bus", seed=0)) != board_to_json(
+        generate("serpentine_bus", seed=1)
+    )
