@@ -5,16 +5,39 @@ Walks the :mod:`repro.scenarios` subsystem end to end:
 1. catalogue — list every registered generator family with its tags;
 2. one reproducible board — ``generate("bga_escape", seed=7)`` twice,
    proving byte-identical JSON, then route and render it;
-3. corpus — sweep every feasible scenario over a few seeds through
+3. fault isolation — a batch with one poisoned board still returns a
+   result per board (the bad one ``status="crashed"``, with its error
+   record), instead of sinking the sweep;
+4. corpus — sweep every feasible scenario over a few seeds through
    ``RoutingSession.run_many`` and print the aggregate verdict.
 
 Run:  python examples/corpus_sweep.py
 """
 
-from repro import RoutingSession
+from repro import (
+    DesignRules,
+    Board,
+    MatchGroup,
+    Point,
+    Polyline,
+    RoutingSession,
+    Trace,
+)
 from repro.io import board_to_json
 from repro.scenarios import generate, list_scenarios, run_corpus
 from repro.viz import render_board
+
+
+def poisoned_board() -> Board:
+    """A board whose pipeline crashes: a zero-length group member."""
+    rules = DesignRules(dgap=4.0, dobs=2.0, dprotect=2.0)
+    board = Board.with_rect_outline(0, 0, 100, 40, rules)
+    board.name = "poisoned"
+    trace = board.add_trace(
+        Trace("bad", Polyline([Point(5, 20), Point(5, 20)]), width=1.0)
+    )
+    board.add_group(MatchGroup("g", members=[trace], target_length=100.0))
+    return board
 
 
 def main() -> None:
@@ -39,7 +62,20 @@ def main() -> None:
     render_board(board, path="corpus_sweep_bga_escape.svg")
     print("wrote corpus_sweep_bga_escape.svg")
 
-    # 3. The corpus: every feasible family, three seeds each, one
+    # 3. Fault isolation: one crashing board cannot sink a batch — it
+    # settles as its own "crashed" result while the rest route normally.
+    batch = [generate("serpentine_bus", seed=0), poisoned_board(),
+             generate("obstacle_maze", seed=0)]
+    results = RoutingSession.run_many(batch, config="fast")
+    print("\nfault-isolated batch:")
+    for result in results:
+        note = (
+            f" ({result.error['type']} in stage {result.error['stage']})"
+            if result.error else ""
+        )
+        print(f"  {result.board:<20} {result.status}{note}")
+
+    # 4. The corpus: every feasible family, three seeds each, one
     # aggregate report (the same thing `repro corpus run` writes).
     print("\nrunning the corpus (this routes a few dozen boards)...")
     report = run_corpus(seeds=(0, 1, 2), verbose=True)

@@ -7,6 +7,7 @@ the lower-level modules (:mod:`repro.core`, :mod:`repro.region`,
 
 from .config import DrcConfig, RegionConfig, SessionConfig
 from .result import (
+    STATUS_CRASHED,
     STATUS_FAILED,
     STATUS_OK,
     STATUS_SKIPPED,
@@ -22,11 +23,13 @@ from .stages import (
     default_stages,
 )
 from .session import RoutingSession
+from .executor import crashed_result, run_batch
 
 __all__ = [
     "DrcConfig",
     "RegionConfig",
     "SessionConfig",
+    "STATUS_CRASHED",
     "STATUS_FAILED",
     "STATUS_OK",
     "STATUS_SKIPPED",
@@ -39,4 +42,6 @@ __all__ = [
     "StageFailure",
     "default_stages",
     "RoutingSession",
+    "crashed_result",
+    "run_batch",
 ]

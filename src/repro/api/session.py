@@ -21,18 +21,23 @@ Observers hook member- and stage-level progress without subclassing::
         on_stage_start=lambda session, stage: print("->", stage.name),
         on_member_done=lambda session, report: print("  ", report.name),
     ).run()
+
+Batch execution (``run_many``) is fault-isolated: every board yields a
+:class:`~repro.api.result.RunResult` even when its pipeline crashes —
+see :mod:`repro.api.executor` for the engine.
 """
 
 from __future__ import annotations
 
 import copy
 import time
-from typing import Callable, Iterable, List, Optional, Sequence, Union
+import traceback
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..core import MemberReport
 from ..model import Board
 from .config import SessionConfig
-from .result import RunResult, StageRecord
+from .result import STATUS_CRASHED, RunResult, StageRecord
 from .stages import Stage, default_stages
 
 #: ``on_stage_start(session, stage)`` / ``on_stage_end(session, record)``.
@@ -41,73 +46,30 @@ StageEndObserver = Callable[["RoutingSession", StageRecord], None]
 #: ``on_member_done(session, member_report)``.
 MemberObserver = Callable[["RoutingSession", MemberReport], None]
 
+#: How many trailing traceback lines an error record keeps.
+TRACEBACK_TAIL_LINES = 20
 
-class _StageStub:
-    """Stands in for a live Stage when replaying parallel-run observers.
 
-    ``on_stage_start`` consumers only read ``stage.name``; in workers
-    mode the stage objects lived in another process, so the replay hands
-    out a named stub instead.
+def error_record(
+    exc: BaseException, stage: Optional[str] = None
+) -> Dict[str, Any]:
+    """A JSON-serialisable crash record for ``RunResult.error``.
+
+    Captures the exception type and message, the stage that was running
+    (``None`` when the crash happened outside any stage) and the last
+    :data:`TRACEBACK_TAIL_LINES` lines of the formatted traceback — the
+    tail is where the crash site lives, and whole tracebacks of deep
+    router recursions would bloat batch reports.
     """
-
-    __slots__ = ("name",)
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-
-
-def _route_board_worker(payload):
-    """Route one JSON-encoded board in a worker process.
-
-    Module-level so :class:`concurrent.futures.ProcessPoolExecutor` can
-    pickle it; boards, configs and results all travel as the plain dicts
-    :mod:`repro.io` defines, so nothing session-specific crosses the
-    process boundary.
-    """
-    board_dict, config_dict = payload
-    from ..io import board_from_dict, board_to_dict, run_result_to_dict
-
-    board = board_from_dict(board_dict)
-    config = (
-        SessionConfig.from_dict(config_dict) if config_dict is not None else None
-    )
-    result = RoutingSession(board, config=config).run()
-    return run_result_to_dict(result), board_to_dict(board)
-
-
-def _adopt_routed(board: Board, routed: Board) -> None:
-    """Copy a worker's routed geometry back onto the caller's board.
-
-    ``run()`` mutates its board in place; workers mutated a JSON copy,
-    so the parent re-applies the meandered traces/pairs (which also
-    refreshes group membership by name) and the assigned routable areas.
-    """
-    for trace in routed.traces:
-        board.replace_trace(trace)
-    for pair in routed.pairs:
-        board.replace_pair(pair)
-    board.routable_areas.clear()
-    board.routable_areas.update(routed.routable_areas)
-
-
-def _replay_observers(session: "RoutingSession", result: RunResult) -> None:
-    """Fire a finished run's observer callbacks in the parent process.
-
-    Per stage record: ``on_stage_start`` (with a :class:`_StageStub`),
-    then — for the match stage — every member report in order, then
-    ``on_stage_end``.  Batch-level ordering is by input board, so the
-    callbacks arrive exactly as a serial run would deliver them, just
-    after the fact.
-    """
-    for record in result.stages:
-        if session.on_stage_start is not None:
-            session.on_stage_start(session, _StageStub(record.name))
-        if record.name == "match":
-            for group in result.groups:
-                for member in group.members:
-                    session.notify_member_done(member)
-        if session.on_stage_end is not None:
-            session.on_stage_end(session, record)
+    tail = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    ).splitlines()[-TRACEBACK_TAIL_LINES:]
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "stage": stage,
+        "traceback": tail,
+    }
 
 
 class RoutingSession:
@@ -146,13 +108,24 @@ class RoutingSession:
 
     # -- execution -----------------------------------------------------------
 
-    def run(self) -> RunResult:
+    def run(self, capture_errors: bool = False) -> RunResult:
         """Execute every stage in order against the board.
 
         The board is mutated in place (meanders are spliced in, routable
         areas stored); the returned :class:`RunResult` is the structured
-        record of what happened.  A stage whose config marks failures
-        ``strict`` may raise :class:`~repro.api.stages.StageFailure`.
+        record of what happened, with ``status`` stamped ``"ok"`` /
+        ``"failed"`` / ``"crashed"``.
+
+        By default an exception escaping a stage (a strict-mode
+        :class:`~repro.api.stages.StageFailure`, or any crash in
+        router/geometry code) propagates to the caller.  With
+        ``capture_errors=True`` — the batch executor's mode — the crash
+        is captured instead: the stages that already ran keep their
+        records and timings, the crashing stage gets a ``"crashed"``
+        record, ``result.error`` holds the exception type, message,
+        stage name and traceback tail, and the partial result is
+        returned with ``status="crashed"``.  ``KeyboardInterrupt`` and
+        other non-``Exception`` exits always propagate.
         """
         result = RunResult(board=self.board.name, config=self.config.to_dict())
         scenario = self.board.meta.get("scenario")
@@ -165,12 +138,31 @@ class RoutingSession:
             if self.on_stage_start is not None:
                 self.on_stage_start(self, stage)
             stage_started = time.perf_counter()
-            record = stage.run(self, result)
+            try:
+                record = stage.run(self, result)
+            except Exception as exc:
+                if not capture_errors:
+                    result.runtime = time.perf_counter() - started
+                    raise
+                # An exception that names its own stage (StageFailure
+                # raised by a helper on behalf of another stage) wins
+                # over the loop's current stage.
+                result.error = error_record(
+                    exc, stage=getattr(exc, "stage", "") or stage.name
+                )
+                record = StageRecord(
+                    stage.name,
+                    STATUS_CRASHED,
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
             record.runtime = time.perf_counter() - stage_started
             result.stages.append(record)
             if self.on_stage_end is not None:
                 self.on_stage_end(self, record)
+            if result.error is not None:
+                break
         result.runtime = time.perf_counter() - started
+        result.finalize_status()
         return result
 
     @classmethod
@@ -183,84 +175,42 @@ class RoutingSession:
         on_stage_end: Optional[StageEndObserver] = None,
         on_member_done: Optional[MemberObserver] = None,
         workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retry: bool = False,
+        on_board_done: Optional[Callable[[int, Board, RunResult], None]] = None,
     ) -> List[RunResult]:
-        """Route a batch of boards with one shared config.
+        """Route a batch of boards with one shared config, fault-isolated.
 
         Each board gets its own session (stage instances are shared —
-        the built-ins are stateless); results come back in input order.
+        the built-ins are stateless); results come back in input order,
+        and *every* board produces one: a crashing pipeline yields a
+        ``status="crashed"`` result carrying the error record and the
+        surviving partial stage records instead of sinking the batch.
 
-        ``workers=N`` (N > 1) routes the boards in ``N`` OS processes:
-        each board and its :class:`~repro.api.result.RunResult` round-trip
+        ``workers=N`` (N > 1) routes the boards in ``N`` OS processes
+        via :func:`repro.api.executor.run_batch`: streaming submission,
+        per-board ``timeout`` seconds, optional ``retry``-once for
+        crashed boards, and recovery when a worker process dies.  Each
+        board and its :class:`~repro.api.result.RunResult` round-trip
         through the :mod:`repro.io` JSON codecs, the routed geometry is
         adopted back onto the caller's board objects, and observer
-        callbacks are replayed *in the parent*, per board, in input order
-        (see PERFORMANCE.md for the exact replay semantics).  Custom
-        ``stages`` are not serialisable and raise :class:`ValueError` in
-        workers mode.
+        callbacks are replayed *in the parent*, per board, in input
+        order (see PERFORMANCE.md for the exact replay semantics).
+        ``on_board_done(index, board, result)`` fires as each board
+        finishes, in completion order.  Custom ``stages`` are not
+        serialisable and raise :class:`ValueError` in workers mode.
         """
-        boards = list(boards)
-        if workers is not None and workers > 1 and stages is not None:
-            # Fail fast even for batches that would fall back to the
-            # serial path (e.g. a single board) — the contract must not
-            # depend on batch size.
-            raise ValueError(
-                "run_many(workers=...) runs the default pipeline; "
-                "custom stages cannot be shipped to worker processes"
-            )
-        if workers is not None and workers > 1 and len(boards) > 1:
-            return cls._run_many_parallel(
-                boards, config, workers, on_stage_start, on_stage_end, on_member_done
-            )
-        return [
-            cls(
-                board,
-                config=config,
-                stages=stages,
-                on_stage_start=on_stage_start,
-                on_stage_end=on_stage_end,
-                on_member_done=on_member_done,
-            ).run()
-            for board in boards
-        ]
+        from .executor import run_batch
 
-    @classmethod
-    def _run_many_parallel(
-        cls,
-        boards: List[Board],
-        config: Union[SessionConfig, str, None],
-        workers: int,
-        on_stage_start: Optional[StageStartObserver],
-        on_stage_end: Optional[StageEndObserver],
-        on_member_done: Optional[MemberObserver],
-    ) -> List[RunResult]:
-        from concurrent.futures import ProcessPoolExecutor
-
-        from ..io import board_from_dict, board_to_dict, run_result_from_dict
-
-        if isinstance(config, str):
-            config = SessionConfig.preset(config)
-        config_dict = config.to_dict() if config is not None else None
-        payloads = [(board_to_dict(board), config_dict) for board in boards]
-        with ProcessPoolExecutor(max_workers=min(workers, len(boards))) as pool:
-            outcomes = list(pool.map(_route_board_worker, payloads))
-
-        results: List[RunResult] = []
-        replay = (
-            on_stage_start is not None
-            or on_stage_end is not None
-            or on_member_done is not None
+        return run_batch(
+            boards,
+            config=config,
+            stages=stages,
+            workers=workers,
+            timeout=timeout,
+            retry=retry,
+            on_board_done=on_board_done,
+            on_stage_start=on_stage_start,
+            on_stage_end=on_stage_end,
+            on_member_done=on_member_done,
         )
-        for board, (result_dict, routed_dict) in zip(boards, outcomes):
-            _adopt_routed(board, board_from_dict(routed_dict))
-            result = run_result_from_dict(result_dict)
-            results.append(result)
-            if replay:
-                session = cls(
-                    board,
-                    config=config,
-                    on_stage_start=on_stage_start,
-                    on_stage_end=on_stage_end,
-                    on_member_done=on_member_done,
-                )
-                _replay_observers(session, result)
-        return results

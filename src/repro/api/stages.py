@@ -28,7 +28,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 
 class StageFailure(RuntimeError):
-    """A stage failed and its config says that is fatal (``strict``)."""
+    """A stage failed and its config says that is fatal (``strict``).
+
+    ``stage`` names the raising stage when the raiser provides it; the
+    session's crash capture (``run(capture_errors=True)``) and the batch
+    executor surface it in ``RunResult.error["stage"]`` either way, so
+    a strict failure inside a batch marks only its own board crashed.
+    """
+
+    def __init__(self, message: str, stage: str = "") -> None:
+        super().__init__(message)
+        self.stage = stage
 
 
 @runtime_checkable
@@ -104,7 +114,9 @@ class RegionAssignmentStage:
             )
         except AssignmentInfeasible as exc:
             if cfg.strict:
-                raise StageFailure(f"region assignment infeasible: {exc}") from exc
+                raise StageFailure(
+                    f"region assignment infeasible: {exc}", stage=self.name
+                ) from exc
             return StageRecord(self.name, STATUS_FAILED, detail=str(exc))
         apply_assignment(board, assignment)
         return StageRecord(
@@ -185,7 +197,7 @@ class DrcVerifyStage:
         if report.is_clean():
             return StageRecord(self.name, STATUS_OK, data={"violations": 0})
         if cfg.strict:
-            raise StageFailure(f"DRC failed:\n{report}")
+            raise StageFailure(f"DRC failed:\n{report}", stage=self.name)
         return StageRecord(
             self.name,
             STATUS_FAILED,

@@ -310,13 +310,18 @@ def _phase_batch(repeats: int) -> List[Dict[str, Any]]:
         boards = [make_table1_case(c)[0] for c in cases]
         return RoutingSession.run_many(boards, config="bench", workers=2)
 
-    serial_s, _ = _time_repeats(serial, repeats)
-    parallel_s, _ = _time_repeats(parallel, repeats)
+    serial_s, serial_results = _time_repeats(serial, repeats)
+    parallel_s, parallel_results = _time_repeats(parallel, repeats)
+    # run_many is fault-isolated: a crash would come back as a result,
+    # not an exception, so the bench must check it timed real routing
+    # work and not a batch of captured crashes.
+    statuses = [r.status for r in serial_results + parallel_results]
     return [
         {
             "boards": len(cases),
             "serial_s": serial_s,
             "workers2_s": parallel_s,
+            "all_ok": all(s == "ok" for s in statuses),
             "cpu_count": os.cpu_count(),
         }
     ]
@@ -407,6 +412,7 @@ def run_perf(
             print(
                 f"batch     serial {row['serial_s']:.3f} s"
                 f"  workers=2 {row['workers2_s']:.3f} s"
+                f"  all_ok={row['all_ok']}"
             )
         if out:
             print(f"wrote {out}")

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro gen bga_escape --seed 7 --out board.json --svg board.svg
     python -m repro gen --list
     python -m repro corpus run --quick --outdir out
+    python -m repro corpus run --resume out
     python -m repro bench table1 --cases 1 --json
     python -m repro bench all --outdir out
     python -m repro bench --perf --quick
@@ -30,7 +31,10 @@ when routing ends un-OK (failed stage, missed targets, or DRC
 violations remain), when a plain ``check`` finds violations, when a
 ``strict``-configured stage raises, or when ``corpus run`` misses its
 feasible-success gate; **2** on bad usage or unreadable/invalid input
-(argparse's convention).
+(argparse's convention).  A batch is never all-or-nothing: a board
+whose pipeline crashes becomes a ``status="crashed"`` report row
+counted against the gate, and ``corpus run --resume <outdir>`` restarts
+a killed sweep from its per-case artifacts.
 """
 
 from __future__ import annotations
@@ -182,6 +186,21 @@ def _build_parser() -> argparse.ArgumentParser:
     corpus.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="route the corpus in N processes (ignored with --quick)",
+    )
+    corpus.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-board wall-clock budget in seconds (workers mode); a "
+        "board over budget becomes a crashed report row",
+    )
+    corpus.add_argument(
+        "--retry", action="store_true",
+        help="resubmit each crashed board once (workers mode)",
+    )
+    corpus.add_argument(
+        "--resume", default=None, metavar="OUTDIR",
+        help="pick up the run whose per-case artifacts live under "
+        "OUTDIR/results/, routing only the (scenario, seed) cases "
+        "without one (implies --outdir OUTDIR)",
     )
     corpus.add_argument(
         "--save-boards", action="store_true",
@@ -365,16 +384,29 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
+    outdir = args.outdir
+    if args.resume is not None:
+        if outdir is not None and outdir != args.resume:
+            print(
+                "error: --resume already names the output directory; "
+                f"--outdir {outdir} contradicts it",
+                file=sys.stderr,
+            )
+            return 2
+        outdir = args.resume
     report = scenarios.run_corpus(
         scenarios=args.scenario,
         seeds=args.seeds,
         quick=args.quick,
         preset=args.preset,
         workers=args.workers,
-        outdir=args.outdir,
+        outdir=outdir,
         save_boards=args.save_boards,
         gate=args.gate,
         verbose=not args.json,
+        timeout=args.timeout,
+        retry=args.retry,
+        resume=args.resume is not None,
     )
     if args.json:
         # The same versioned envelope save_corpus_report writes, so

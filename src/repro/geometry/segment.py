@@ -117,8 +117,14 @@ def segments_intersect(s1: Segment, s2: Segment, eps: float = EPS) -> bool:
     """True when the closed segments share at least one point.
 
     Uses the classic orientation test with collinear special cases; robust
-    for touching endpoints, which DRC treats as an intersection.
+    for touching endpoints, which DRC treats as an intersection.  The
+    predicate is symmetric by construction: the arguments are put into a
+    canonical order first, so borderline eps decisions (which otherwise
+    depend on which segment supplies the reference line) cannot disagree
+    between ``(s1, s2)`` and ``(s2, s1)``.
     """
+    if (s2.a.x, s2.a.y, s2.b.x, s2.b.y) < (s1.a.x, s1.a.y, s1.b.x, s1.b.y):
+        s1, s2 = s2, s1
     p, r = s1.a, s1.vector()
     q, s = s2.a, s2.vector()
     rxs = r.cross(s)
@@ -129,11 +135,15 @@ def segments_intersect(s1: Segment, s2: Segment, eps: float = EPS) -> bool:
     # agree within ~eps radians.  Symmetric in (s1, s2) and independent of
     # the segments' absolute lengths.
     if abs(rxs) <= eps * max(r_norm * s_norm, eps):
-        # Non-collinear parallels cannot intersect; collinearity compares
-        # the offset of q from s1's line against eps (a distance).
+        # Non-collinear parallels cannot intersect; collinearity requires
+        # *both* endpoints of s2 within eps (a distance) of s1's line — a
+        # one-endpoint test lets a segment that merely starts near the
+        # line fall into the collinear interval test and over-report.
         if r_norm > eps:
-            if abs(qpxr) > eps * max(qp.norm(), 1.0) * r_norm:
-                return False
+            for endpoint in (s2.a, s2.b):
+                off = endpoint - p
+                if abs(off.cross(r)) > eps * max(off.norm(), 1.0) * r_norm:
+                    return False
         elif not s2.contains_point(s1.a, eps):
             return False
         # Collinear: compare projected intervals in *distance* units so the

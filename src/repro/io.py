@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import copy
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ._version import __version__
 from .api.result import RunResult, StageRecord
@@ -351,6 +351,8 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
         "groups": [group_report_to_dict(g) for g in result.groups],
         "drc": drc_report_to_dict(result.drc) if result.drc is not None else None,
         "runtime": result.runtime,
+        "status": result.status,
+        "error": copy.deepcopy(result.error),
     }
 
 
@@ -365,7 +367,7 @@ def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
     drc: Optional[DrcReport] = None
     if data.get("drc") is not None:
         drc = drc_report_from_dict(data["drc"])
-    return RunResult(
+    result = RunResult(
         board=data.get("board", ""),
         config=data.get("config", {}),
         # Absent in artifacts saved before provenance stamping existed.
@@ -383,7 +385,15 @@ def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
         groups=[group_report_from_dict(g) for g in data.get("groups", [])],
         drc=drc,
         runtime=data.get("runtime", 0.0),
+        error=copy.deepcopy(data.get("error")),
     )
+    if "status" in data:
+        result.status = data["status"]
+    else:
+        # Artifacts saved before run-level status existed: derive the
+        # verdict the producing run would have stamped.
+        result.finalize_status()
+    return result
 
 
 def result_to_json(result: RunResult, indent: int = 2) -> str:
@@ -438,6 +448,55 @@ def corpus_report_from_dict(data: Dict[str, Any]) -> Dict[str, Any]:
     # Strip only the format plumbing; repro_version stays readable (the
     # producing version is data, even though a re-save re-stamps it).
     return {k: v for k, v in data.items() if k not in ("version", "kind")}
+
+
+def corpus_case_to_dict(
+    case: Dict[str, Any], result: RunResult
+) -> Dict[str, Any]:
+    """One corpus case — the report row plus its full run artifact —
+    wrapped as a versioned, self-describing document.
+
+    These are the per-case files ``run_corpus(outdir=...)`` writes under
+    ``<outdir>/results/``; ``corpus run --resume`` loads them back to
+    skip already-completed ``(scenario, seed)`` cases, so the row is
+    stored verbatim (recomputing it would need the routed board, which
+    only existed in the producing run).
+    """
+    return {
+        "version": CORPUS_FORMAT_VERSION,
+        "kind": "corpus_case",
+        "repro_version": __version__,
+        "case": copy.deepcopy(case),
+        "result": run_result_to_dict(result),
+    }
+
+
+def corpus_case_from_dict(
+    data: Dict[str, Any]
+) -> Tuple[Dict[str, Any], RunResult]:
+    """Unwrap a corpus case document into ``(case_row, run_result)``;
+    raises :class:`ValueError` on another kind or an unknown version."""
+    kind = data.get("kind")
+    if kind != "corpus_case":
+        raise ValueError(f"not a corpus case (kind: {kind!r})")
+    version = data.get("version")
+    if version != CORPUS_FORMAT_VERSION:
+        raise ValueError(f"unsupported corpus case version: {version!r}")
+    return copy.deepcopy(data["case"]), run_result_from_dict(data["result"])
+
+
+def save_corpus_case(case: Dict[str, Any], result: RunResult, path: str) -> str:
+    """Write one corpus case document to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(corpus_case_to_dict(case, result), fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def load_corpus_case(path: str) -> Tuple[Dict[str, Any], RunResult]:
+    """Read one corpus case document from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return corpus_case_from_dict(json.load(fh))
 
 
 def save_corpus_report(report: Dict[str, Any], path: str) -> str:

@@ -1,13 +1,18 @@
 """The corpus runner: sweep generated scenarios through the pipeline.
 
 ``run_corpus`` generates every requested ``(scenario, seed)`` board,
-routes the whole batch through
-:meth:`repro.api.RoutingSession.run_many` (optionally across worker
-processes) and aggregates one JSON report: per-scenario success rates,
-error/skew statistics and timings, plus an overall verdict gated on the
-feasible-tagged subset.  The report round-trips through
-:func:`repro.io.save_corpus_report` and is what the ``corpus-smoke`` CI
-job uploads.
+routes the whole batch through the fault-isolated
+:meth:`repro.api.RoutingSession.run_many` engine (optionally across
+worker processes) and aggregates one JSON report: per-scenario success
+rates, error/skew statistics and timings, plus an overall verdict gated
+on the feasible-tagged subset.  A board whose pipeline crashes becomes
+a ``status="crashed"`` report row counted against the gate — it never
+aborts the sweep.  With an ``outdir``, every case's full run artifact
+lands under ``<outdir>/results/`` as it completes, and ``resume=True``
+skips the ``(scenario, seed)`` cases those artifacts already cover —
+multi-hour sweeps restart where they stopped.  The aggregate report
+round-trips through :func:`repro.io.save_corpus_report` and is what the
+``corpus-smoke`` CI job uploads.
 """
 
 from __future__ import annotations
@@ -15,7 +20,8 @@ from __future__ import annotations
 import os
 import statistics
 import time
-from typing import Any, Dict, List, Optional, Sequence
+import warnings
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..api import RoutingSession
 from ..model import Board
@@ -43,6 +49,8 @@ def _case_metrics(board: Board, result) -> Dict[str, Any]:
         "board": board.name,
         "provenance": board.meta.get("scenario"),
         "ok": bool(result.ok()),
+        "status": result.status,
+        "error": result.error,
         "drc_clean": drc_clean,
         "drc_violations": len(result.drc) if result.drc is not None else None,
         "max_error": result.max_error(),
@@ -55,6 +63,7 @@ def _case_metrics(board: Board, result) -> Dict[str, Any]:
 def _aggregate(family: ScenarioFamily, cases: List[Dict[str, Any]]) -> Dict[str, Any]:
     """One scenario's aggregate block."""
     oks = [c for c in cases if c["ok"]]
+    crashed = [c for c in cases if c.get("status") == "crashed"]
     errors = [c["max_error"] for c in cases]
     skews = [c["max_skew"] for c in cases if c["max_skew"] is not None]
     times = [c["run_s"] for c in cases]
@@ -65,6 +74,7 @@ def _aggregate(family: ScenarioFamily, cases: List[Dict[str, Any]]) -> Dict[str,
         "tags": list(family.tags),
         "boards": len(cases),
         "ok": len(oks),
+        "crashed": len(crashed),
         "success_rate": len(oks) / len(cases) if cases else None,
         "max_error_max": max(errors) if errors else None,
         "max_error_avg": sum(errors) / len(errors) if errors else None,
@@ -73,6 +83,58 @@ def _aggregate(family: ScenarioFamily, cases: List[Dict[str, Any]]) -> Dict[str,
         "run_s_total": sum(times),
         "cases": cases,
     }
+
+
+def _results_dir(outdir: str) -> str:
+    return os.path.join(outdir, "results")
+
+
+def _load_completed_cases(
+    outdir: str, preset: str
+) -> Dict[str, Tuple[Dict[str, Any], Any]]:
+    """Per-case artifacts from an earlier run, keyed by board name.
+
+    Unreadable, foreign or malformed files under ``results/`` are
+    skipped with a warning rather than failing the resume — the
+    directory may hold a half-written artifact from the very crash
+    being resumed around.  Artifacts routed under a different preset
+    are skipped too (and hence re-routed): one report must not blend
+    two configurations while claiming one.
+    """
+    from ..io import load_corpus_case
+
+    completed: Dict[str, Tuple[Dict[str, Any], Any]] = {}
+    results_dir = _results_dir(outdir)
+    if not os.path.isdir(results_dir):
+        return completed
+    for name in sorted(os.listdir(results_dir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(results_dir, name)
+        try:
+            case, result = load_corpus_case(path)
+            board_name = case["board"]
+        except Exception as exc:
+            # Deliberately broad: the directory may hold arbitrary
+            # foreign JSON (a list-shaped document raises
+            # AttributeError, a malformed nested result TypeError) and
+            # none of it may abort a multi-hour resume.
+            warnings.warn(
+                f"resume: skipping unreadable case artifact {path}: {exc}",
+                RuntimeWarning,
+            )
+            continue
+        case_preset = result.config.get("preset_name")
+        if case_preset != preset:
+            warnings.warn(
+                f"resume: re-routing {board_name}: its artifact was "
+                f"produced under preset {case_preset!r}, this run uses "
+                f"{preset!r}",
+                RuntimeWarning,
+            )
+            continue
+        completed[board_name] = (case, result)
+    return completed
 
 
 def run_corpus(
@@ -85,19 +147,29 @@ def run_corpus(
     save_boards: bool = False,
     gate: float = CORPUS_GATE,
     verbose: bool = False,
+    timeout: Optional[float] = None,
+    retry: bool = False,
+    resume: bool = False,
 ) -> Dict[str, Any]:
     """Generate, route and score a scenario corpus; returns the report.
 
     ``quick`` is the CI smoke configuration: every scenario's
-    ``quick_overrides`` applied, two seeds, serial execution.  With an
+    ``quick_overrides`` applied, two seeds, serial execution (a
+    requested ``workers`` value is ignored with a warning; the report's
+    ``workers`` key always records the *effective* count).  With an
     ``outdir`` the aggregate report lands in
-    ``<outdir>/corpus_report.json`` (plus, with ``save_boards``, every
+    ``<outdir>/corpus_report.json``, every case's full run artifact in
+    ``<outdir>/results/<board>.json`` (plus, with ``save_boards``, every
     generated board — pre-route, as generated — under
-    ``<outdir>/boards/``).  The report's
+    ``<outdir>/boards/``).  ``resume=True`` (requires ``outdir``) loads
+    those per-case artifacts and routes only the ``(scenario, seed)``
+    cases that have none yet.  ``timeout`` and ``retry`` are the
+    executor's per-board knobs (workers mode).  The report's
     ``summary.gate_passed`` is the corpus verdict: the success rate over
-    feasible-tagged scenarios must reach ``gate``.
+    feasible-tagged scenarios must reach ``gate`` — crashed cases count
+    against it like any other non-OK run.
     """
-    from ..io import save_board, save_corpus_report
+    from ..io import save_board, save_corpus_case, save_corpus_report
 
     if scenarios is not None:
         # Dedupe while keeping request order: a repeated name must not
@@ -113,10 +185,19 @@ def run_corpus(
     seeds = tuple(dict.fromkeys(seeds)) if seeds is not None else (
         QUICK_SEEDS if quick else DEFAULT_SEEDS
     )
-    if quick:
+    workers_requested = workers
+    if quick and workers is not None and workers > 1:
+        warnings.warn(
+            f"workers={workers} ignored: --quick is the serial smoke "
+            "configuration",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         workers = None
     if save_boards and outdir is None:
         raise ValueError("save_boards requires an outdir to write into")
+    if resume and outdir is None:
+        raise ValueError("resume requires the outdir of the run to pick up")
 
     specs: List[ScenarioSpec] = []
     boards: List[Board] = []
@@ -136,18 +217,71 @@ def run_corpus(
         for board in boards:
             save_board(board, os.path.join(boards_dir, f"{board.name}.json"))
 
+    completed = _load_completed_cases(outdir, preset) if resume else {}
+    # An artifact only covers a case when its full provenance — name,
+    # seed and *effective params* — matches what this run would
+    # generate: board names carry no params, so a full-run artifact
+    # must not masquerade as a --quick case (or vice versa).
+    for board in boards:
+        entry = completed.get(board.name)
+        if entry is None:
+            continue
+        if entry[0].get("provenance") != board.meta.get("scenario"):
+            warnings.warn(
+                f"resume: re-routing {board.name}: its artifact was "
+                "generated under different scenario parameters",
+                RuntimeWarning,
+            )
+            del completed[board.name]
+    run_boards = [board for board in boards if board.name not in completed]
+    # What run_many will actually do, recorded in the report (the serial
+    # fallbacks below mirror the executor's own dispatch rule).
+    effective_workers = (
+        workers if workers is not None and workers > 1 and len(run_boards) > 1 else 1
+    )
+
+    results_dir = _results_dir(outdir) if outdir is not None else None
+    if results_dir is not None and run_boards:
+        os.makedirs(results_dir, exist_ok=True)
+
+    cases_by_board: Dict[str, Dict[str, Any]] = {
+        name: case for name, (case, _result) in completed.items()
+    }
+
+    def on_board_done(index: int, board: Board, result) -> None:
+        # One row per case, computed here (the board's routed geometry
+        # is adopted by the time the callback fires) and shared by the
+        # artifact and the report — recomputing in two places would let
+        # them drift apart.  Persisting as each case settles, not after
+        # the sweep, is what leaves resume its artifacts behind a
+        # killed run.
+        case = _case_metrics(board, result)
+        cases_by_board[board.name] = case
+        if results_dir is not None:
+            save_corpus_case(
+                case, result, os.path.join(results_dir, f"{board.name}.json")
+            )
+
     started = time.perf_counter()
-    results = RoutingSession.run_many(boards, config=preset, workers=workers)
+    RoutingSession.run_many(
+        run_boards,
+        config=preset,
+        workers=workers,
+        timeout=timeout,
+        retry=retry,
+        on_board_done=on_board_done,
+    )
     wall_s = time.perf_counter() - started
 
     by_scenario: Dict[str, List[Dict[str, Any]]] = {f.name: [] for f in families}
-    for spec, board, result in zip(specs, boards, results):
-        case = _case_metrics(board, result)
+    for spec, board in zip(specs, boards):
+        case = cases_by_board[board.name]
         by_scenario[spec.name].append(case)
         if verbose:
+            resumed = " (resumed)" if board.name in completed else ""
             print(
-                f"  {board.name:<24} ok={case['ok']!s:<5} "
-                f"err={case['max_error']:.5f} {case['run_s']:.2f}s"
+                f"  {board.name:<24} {case['status']:<8} ok={case['ok']!s:<5} "
+                f"err={case['max_error']:.5f} {case['run_s']:.2f}s{resumed}"
             )
 
     aggregates = [_aggregate(family, by_scenario[family.name]) for family in families]
@@ -159,12 +293,15 @@ def run_corpus(
         "quick": quick,
         "preset": preset,
         "seeds": list(seeds),
-        "workers": workers,
+        "workers": effective_workers,
+        "workers_requested": workers_requested,
         "wall_s": wall_s,
         "scenarios": aggregates,
         "summary": {
             "boards": len(boards),
             "ok": sum(a["ok"] for a in aggregates),
+            "crashed": sum(a["crashed"] for a in aggregates),
+            "resumed": len([b for b in boards if b.name in completed]),
             "feasible_boards": feasible_boards,
             "feasible_ok": feasible_ok,
             "feasible_success_rate": feasible_rate,
@@ -178,8 +315,15 @@ def run_corpus(
         save_corpus_report(report, os.path.join(outdir, "corpus_report.json"))
     if verbose:
         summary = report["summary"]
+        crashed_note = (
+            f", {summary['crashed']} crashed" if summary["crashed"] else ""
+        )
+        resumed_note = (
+            f", {summary['resumed']} resumed" if summary["resumed"] else ""
+        )
         print(
-            f"corpus: {summary['ok']}/{summary['boards']} ok, feasible "
+            f"corpus: {summary['ok']}/{summary['boards']} ok{crashed_note}"
+            f"{resumed_note}, feasible "
             f"{summary['feasible_ok']}/{summary['feasible_boards']} "
             f"(gate {gate:.0%}: "
             f"{'passed' if summary['gate_passed'] else 'FAILED'}), "

@@ -244,6 +244,28 @@ class TestCorpus:
         # --json emits the same envelope save_corpus_report writes.
         assert payload["kind"] == "corpus_report"
 
+    def test_corpus_resume_round_trip(self, tmp_path, capsys):
+        outdir = str(tmp_path / "out")
+        args = ["corpus", "run", "--quick", "--scenario", "serpentine_bus"]
+        assert main(args + ["--outdir", outdir]) == 0
+        capsys.readouterr()
+        # --resume names the outdir and skips every completed case.
+        code = main(args + ["--resume", outdir, "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["resumed"] == payload["summary"]["boards"]
+
+    def test_corpus_resume_contradicting_outdir_rejected(self, tmp_path, capsys):
+        code = main(
+            [
+                "corpus", "run", "--quick",
+                "--resume", str(tmp_path / "a"),
+                "--outdir", str(tmp_path / "b"),
+            ]
+        )
+        assert code == 2
+        assert "--resume" in capsys.readouterr().err
+
 
 def dirty_board() -> Board:
     """Two traces well inside each other's d_gap — DRC can never pass."""

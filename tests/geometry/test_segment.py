@@ -185,6 +185,17 @@ class TestSegmentProperties:
         s1, s2 = Segment(a, b), Segment(c, d)
         assert segments_intersect(s1, s2) == segments_intersect(s2, s1)
 
+    def test_intersection_symmetry_near_parallel_regression(self):
+        # Hypothesis falsifying example: two steep, nearly-parallel
+        # segments whose true minimum distance (~2e-7) just exceeds EPS.
+        # One argument order used to fall into the collinear interval
+        # test (reporting an intersection) while the other did not; the
+        # predicate must be symmetric, and here correctly disjoint.
+        s1 = Segment(Point(0.0, 1.0), Point(1e-05, -49.0))
+        s2 = Segment(Point(0.0, 0.0), Point(1e-05, -100.0))
+        assert segments_intersect(s1, s2) == segments_intersect(s2, s1)
+        assert not segments_intersect(s1, s2)
+
     @given(points, points, st.floats(min_value=0, max_value=1))
     def test_point_at_on_segment(self, a, b, t):
         s = Segment(a, b)

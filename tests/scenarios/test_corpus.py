@@ -1,11 +1,48 @@
-"""Corpus runner tests: aggregation, gating, artifacts, parallel path."""
+"""Corpus runner tests: aggregation, gating, artifacts, parallel path,
+crash isolation and resume."""
 
 import os
 
 import pytest
 
-from repro.io import load_board, load_corpus_report
+from repro.io import load_board, load_corpus_case, load_corpus_report
 from repro.scenarios import CORPUS_GATE, run_corpus
+from repro.scenarios.registry import ScenarioFamily, _REGISTRY, register
+
+
+def _poison_builder(rng, length=100.0):
+    """A board whose default pipeline crashes: the group member's path
+    is a single zero-length segment (ZeroDivisionError in the router)."""
+    from repro import Board, DesignRules, MatchGroup, Point, Polyline, Trace
+
+    rules = DesignRules(dgap=4.0, dobs=2.0, dprotect=2.0)
+    board = Board.with_rect_outline(0, 0, 100, 40, rules)
+    trace = board.add_trace(
+        Trace("bad", Polyline([Point(5, 20), Point(5, 20)]), width=1.0)
+    )
+    board.add_group(MatchGroup("g", members=[trace], target_length=length))
+    return board
+
+
+@pytest.fixture
+def poison_scenario():
+    """A temporarily-registered feasible-tagged scenario that crashes."""
+    name = "_test_poison"
+    register(
+        ScenarioFamily(
+            name=name,
+            builder=_poison_builder,
+            description="crash injector for corpus isolation tests",
+            difficulty="easy",
+            feasible=True,
+            defaults=dict(length=100.0),
+            tags=("test",),
+        )
+    )
+    try:
+        yield name
+    finally:
+        _REGISTRY.pop(name, None)
 
 
 @pytest.mark.smoke
@@ -100,3 +137,183 @@ def test_duplicate_seeds_deduped():
     report = run_corpus(scenarios=["obstacle_maze"], seeds=(0, 0, 1))
     assert report["summary"]["boards"] == 2
     assert report["seeds"] == [0, 1]
+
+
+class TestCrashIsolation:
+    def test_crashed_case_becomes_gated_row(self, poison_scenario, tmp_path):
+        outdir = str(tmp_path / "corpus")
+        report = run_corpus(
+            scenarios=["serpentine_bus", poison_scenario],
+            seeds=(0,),
+            outdir=outdir,
+        )
+        # The sweep completed and the report landed despite the crash.
+        loaded = load_corpus_report(os.path.join(outdir, "corpus_report.json"))
+        assert loaded["summary"] == report["summary"]
+        summary = report["summary"]
+        assert summary["boards"] == 2
+        assert summary["crashed"] == 1
+        # Both scenarios are feasible-tagged, so the crash gates the run.
+        assert summary["feasible_success_rate"] == 0.5
+        assert not summary["gate_passed"]
+        poison_agg = next(
+            a for a in report["scenarios"] if a["scenario"] == poison_scenario
+        )
+        case = poison_agg["cases"][0]
+        assert case["status"] == "crashed"
+        assert not case["ok"]
+        assert case["error"]["type"] == "ZeroDivisionError"
+
+    def test_crashed_case_isolated_in_workers_mode(self, poison_scenario):
+        report = run_corpus(
+            scenarios=["serpentine_bus", poison_scenario],
+            seeds=(0, 1),
+            workers=2,
+        )
+        assert report["workers"] == 2
+        assert report["summary"]["crashed"] == 2
+        good = next(
+            a for a in report["scenarios"] if a["scenario"] == "serpentine_bus"
+        )
+        assert good["ok"] == good["boards"]
+
+
+class TestCaseArtifactsAndResume:
+    def test_per_case_result_artifacts_written(self, tmp_path):
+        outdir = str(tmp_path / "corpus")
+        report = run_corpus(
+            scenarios=["serpentine_bus"], seeds=(0, 1), outdir=outdir
+        )
+        results_dir = os.path.join(outdir, "results")
+        names = sorted(os.listdir(results_dir))
+        assert names == ["serpentine_bus-s0.json", "serpentine_bus-s1.json"]
+        case, result = load_corpus_case(os.path.join(results_dir, names[0]))
+        assert case["board"] == "serpentine_bus-s0"
+        assert result.status == "ok"
+        # The stored row is the report row.
+        stored_rows = report["scenarios"][0]["cases"]
+        assert case == stored_rows[0]
+
+    def test_resume_skips_completed_cases(self, tmp_path):
+        outdir = str(tmp_path / "corpus")
+        first = run_corpus(
+            scenarios=["serpentine_bus"], seeds=(0, 1), outdir=outdir
+        )
+        # Drop one artifact: resume must re-route exactly that case.
+        os.remove(os.path.join(outdir, "results", "serpentine_bus-s1.json"))
+        resumed = run_corpus(
+            scenarios=["serpentine_bus"], seeds=(0, 1), outdir=outdir, resume=True
+        )
+        assert resumed["summary"]["resumed"] == 1
+        assert resumed["summary"]["boards"] == 2
+        assert resumed["summary"]["ok"] == first["summary"]["ok"]
+        assert resumed["summary"]["gate_passed"] == first["summary"]["gate_passed"]
+        # The re-routed case's artifact is back on disk.
+        assert sorted(os.listdir(os.path.join(outdir, "results"))) == [
+            "serpentine_bus-s0.json",
+            "serpentine_bus-s1.json",
+        ]
+        # Fully-covered resume routes nothing and reports identically.
+        full = run_corpus(
+            scenarios=["serpentine_bus"], seeds=(0, 1), outdir=outdir, resume=True
+        )
+        assert full["summary"]["resumed"] == 2
+        assert full["summary"]["ok"] == first["summary"]["ok"]
+
+    def test_resume_after_crash_keeps_crashed_row(self, poison_scenario, tmp_path):
+        outdir = str(tmp_path / "corpus")
+        run_corpus(
+            scenarios=["serpentine_bus", poison_scenario],
+            seeds=(0,),
+            outdir=outdir,
+        )
+        resumed = run_corpus(
+            scenarios=["serpentine_bus", poison_scenario],
+            seeds=(0,),
+            outdir=outdir,
+            resume=True,
+        )
+        assert resumed["summary"]["resumed"] == 2
+        assert resumed["summary"]["crashed"] == 1
+        assert not resumed["summary"]["gate_passed"]
+
+    def test_resume_requires_outdir(self):
+        with pytest.raises(ValueError, match="resume"):
+            run_corpus(scenarios=["obstacle_maze"], seeds=(0,), resume=True)
+
+    def test_resume_skips_malformed_artifact_with_warning(self, tmp_path):
+        import json
+
+        outdir = str(tmp_path / "corpus")
+        run_corpus(scenarios=["serpentine_bus"], seeds=(0,), outdir=outdir)
+        # A valid envelope whose case row lost its "board" key (e.g. a
+        # truncated-then-rewritten artifact) must be re-routed, not
+        # abort the resume.
+        path = os.path.join(outdir, "results", "serpentine_bus-s0.json")
+        with open(path) as fh:
+            doc = json.load(fh)
+        del doc["case"]["board"]
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        with pytest.warns(RuntimeWarning, match="unreadable case artifact"):
+            resumed = run_corpus(
+                scenarios=["serpentine_bus"], seeds=(0,), outdir=outdir,
+                resume=True,
+            )
+        assert resumed["summary"]["resumed"] == 0
+        assert resumed["summary"]["boards"] == 1
+
+    def test_resume_reroutes_cases_from_other_params(self, tmp_path):
+        # Board names carry no params, so a full-run artifact must not
+        # be adopted into a --quick report (different quick_overrides).
+        outdir = str(tmp_path / "corpus")
+        run_corpus(scenarios=["serpentine_bus"], seeds=(0,), outdir=outdir)
+        with pytest.warns(RuntimeWarning, match="different scenario parameters"):
+            resumed = run_corpus(
+                scenarios=["serpentine_bus"], seeds=(0,), outdir=outdir,
+                resume=True, quick=True,
+            )
+        assert resumed["summary"]["resumed"] == 0
+        case = resumed["scenarios"][0]["cases"][0]
+        # The re-routed row carries the quick params, not the full ones.
+        assert case["provenance"]["params"]["traces"] == 3
+
+    def test_resume_reroutes_cases_from_other_preset(self, tmp_path):
+        outdir = str(tmp_path / "corpus")
+        run_corpus(
+            scenarios=["serpentine_bus"], seeds=(0,), outdir=outdir,
+            preset="fast",
+        )
+        with pytest.warns(RuntimeWarning, match="preset"):
+            resumed = run_corpus(
+                scenarios=["serpentine_bus"], seeds=(0,), outdir=outdir,
+                resume=True, preset="quality",
+            )
+        # The fast-preset artifact was not adopted into a quality report.
+        assert resumed["summary"]["resumed"] == 0
+        assert resumed["preset"] == "quality"
+        case = resumed["scenarios"][0]["cases"][0]
+        assert case["ok"]
+
+
+class TestEffectiveWorkers:
+    def test_quick_drops_workers_with_warning(self, tmp_path):
+        with pytest.warns(RuntimeWarning, match="workers=4 ignored"):
+            report = run_corpus(
+                scenarios=["serpentine_bus"], seeds=(0, 1), quick=True, workers=4
+            )
+        # The report records what actually happened, not the request.
+        assert report["workers"] == 1
+        assert report["workers_requested"] == 4
+
+    def test_effective_workers_recorded_for_parallel_run(self):
+        report = run_corpus(
+            scenarios=["serpentine_bus"], seeds=(0, 1), workers=2
+        )
+        assert report["workers"] == 2
+        assert report["workers_requested"] == 2
+
+    def test_serial_run_records_one_worker(self):
+        report = run_corpus(scenarios=["serpentine_bus"], seeds=(0,))
+        assert report["workers"] == 1
+        assert report["workers_requested"] is None
