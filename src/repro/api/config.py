@@ -29,11 +29,33 @@ everywhere:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Dict, Optional
 
 from ..core import ExtensionConfig, RouterConfig
 from ..model import MatchGroup
+
+
+def _canonical_value(value: Any) -> Any:
+    """Normalise a config snapshot for hashing.
+
+    Bools stay bools (``True`` is not the number ``1.0`` here — it is a
+    different knob setting from any count), every other number becomes
+    its float ``repr`` string so ``150`` and ``150.0`` collapse, and
+    containers recurse.  ``repr`` of a float is exact round-trip text in
+    Python 3, so distinct values never collide.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return repr(float(value))
+    if isinstance(value, dict):
+        return {str(k): _canonical_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(v) for v in value]
+    return value
 
 
 @dataclass
@@ -160,6 +182,26 @@ class SessionConfig:
         return self.extension.tolerance
 
     # -- serialization ------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """A stable hash of everything that changes routing behaviour.
+
+        Two configs that behave identically fingerprint identically —
+        ``preset_name`` is provenance only (``preset("default")`` and
+        ``SessionConfig()`` run the same pipeline), so it is excluded —
+        while any *effective* knob change changes the hash.  Numbers are
+        canonicalized (``150`` and ``150.0`` are the same iteration
+        cap) and keys sorted, so the hash is independent of dict order
+        and int/float spelling.  This is the config half of the result
+        cache's content address (:mod:`repro.cache`): a stale artifact
+        can never be served across a preset or parameter change.
+        """
+        snapshot = self.to_dict()
+        snapshot.pop("preset_name", None)
+        canonical = json.dumps(
+            _canonical_value(snapshot), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-serialisable snapshot (round-trips via :func:`from_dict`)."""

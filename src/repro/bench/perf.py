@@ -19,6 +19,10 @@ Phases
                design;
 ``session``    end-to-end :class:`~repro.api.RoutingSession` runs on
                Table I cases;
+``server``     cold-vs-warm ``POST /route`` latency through a live
+               :mod:`repro.server` daemon — the warm request is served
+               from the content-addressed cache without running any
+               pipeline stage;
 ``batch``      ``run_many`` serial vs. ``workers=2`` on two boards
                (full mode only — wall-clock only helps with >1 CPU, but
                the number records the process-pool overhead either way).
@@ -299,6 +303,62 @@ def _phase_scenarios(tiles: Sequence[int], repeats: int) -> List[Dict[str, Any]]
     return rows
 
 
+def _phase_server(tiles: int, repeats: int) -> List[Dict[str, Any]]:
+    """Cold-vs-warm request latency through the routing service.
+
+    One daemon, one generated ``tiled`` board, measured end-to-end over
+    real HTTP: ``cold_s`` routes the board (the cache is cleared before
+    every cold repeat), ``warm_s`` repeats the identical ``POST /route``
+    and is served from the content-addressed cache without executing any
+    pipeline stage.  ``speedup`` is the acceptance number — the whole
+    point of ``repro serve`` — and ``cache_hit`` certifies the warm
+    responses actually came from the cache.
+    """
+    import tempfile
+
+    from ..io import board_to_dict
+    from ..scenarios import generate
+    from ..server import make_http_server
+    from ..server.client import ServerClient
+
+    board_dict = board_to_dict(
+        generate("tiled", seed=0, params={"tiles": tiles})
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        server = make_http_server(cache_dir, port=0).start_background()
+        try:
+            client = ServerClient(server.url)
+
+            def cold():
+                server.app.cache.clear()
+                return client.route(board_dict, preset="fast")
+
+            cold_s, cold_resp = _time_repeats(cold, repeats)
+            # Re-prime after the last clear, outside the timed region.
+            client.route(board_dict, preset="fast")
+            warm_s, warm_resp = _time_repeats(
+                lambda: client.route(board_dict, preset="fast"), repeats
+            )
+            stats = client.stats().payload["cache"]
+        finally:
+            server.shutdown()
+    return [
+        {
+            "tiles": tiles,
+            "board_bytes": len(json.dumps(board_dict)),
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "speedup": cold_s / warm_s if warm_s > 0 else None,
+            "cold_status": cold_resp.payload.get("status"),
+            "cache_hit": warm_resp.payload.get("cache") == "hit",
+            "identical": cold_resp.payload.get("result")
+            == warm_resp.payload.get("result"),
+            "cache_hits": stats["hits"],
+            "cache_misses": stats["misses"],
+        }
+    ]
+
+
 def _phase_batch(repeats: int) -> List[Dict[str, Any]]:
     cases = (1, 2)
 
@@ -350,6 +410,7 @@ def run_perf(
         "drc": _phase_drc([1] if quick else [1, 2, 4], repeats),
         "extension": _phase_extension([4.0] if quick else [2.5, 4.0], repeats),
         "session": _phase_session([1] if quick else [1, 5], repeats),
+        "server": _phase_server(8 if quick else 48, repeats),
     }
     if scenarios:
         phases["scenarios"] = _phase_scenarios(
@@ -401,6 +462,12 @@ def run_perf(
             print(
                 f"session   case={row['case']}  {row['run_s']:.3f} s"
                 f"  ok={row['ok']}"
+            )
+        for row in phases["server"]:
+            print(
+                f"server    tiles={row['tiles']}  cold {row['cold_s']:.3f} s"
+                f"  warm {row['warm_s']*1e3:.2f} ms"
+                f"  ({_fmt_speedup(row['speedup'])}, cache_hit={row['cache_hit']})"
             )
         for row in phases.get("scenarios", ()):
             print(

@@ -1,0 +1,273 @@
+"""Persistent content-addressed result cache.
+
+The cache maps a *content address* — the SHA-256 of the canonical input
+board JSON, the :meth:`~repro.api.SessionConfig.fingerprint` of the
+config that would route it, and the library version — to the full run
+artifact (the :class:`~repro.api.RunResult` dict plus the routed board
+geometry) on disk.  Identical requests are therefore served without
+executing any pipeline stage: the key *is* the computation's identity,
+so a hit is correct by construction and a stale entry is unreachable
+(any change to the board, an effective config knob, or the routing code
+version changes the key).
+
+Design points:
+
+* **Atomic writes** — entries are written to a same-directory temp file
+  and ``os.replace``'d into place, so concurrent writers of the same
+  key race benignly (last rename wins, both files are complete) and a
+  reader can never observe a torn entry.
+* **Corruption is a miss** — a truncated or garbage entry file fails
+  JSON validation, is counted, deleted (repaired) and reported as a
+  miss; the next route re-populates it.
+* **Bounded size** — ``max_bytes`` caps the store; when an insert
+  pushes past it, a least-recently-used sweep (by file mtime, which
+  :meth:`get` refreshes on every hit) evicts oldest entries until the
+  store fits again.
+* **Observable** — hit/miss/eviction/corruption counters plus on-disk
+  entry/byte totals surface through :meth:`ResultCache.stats`, which is
+  what the server's ``GET /stats`` endpoint returns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from typing import Any, Dict, Optional
+
+from .._version import __version__
+from ..io import canonical_json
+
+#: Entry documents are self-describing like every other repro artifact.
+CACHE_FORMAT_VERSION = 1
+CACHE_KIND = "cache_entry"
+
+#: Default store budget: plenty for tens of thousands of results while
+#: staying invisible on a developer machine.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+def cache_key(
+    board_dict: Dict[str, Any],
+    config_fingerprint: str,
+    version: str = __version__,
+) -> str:
+    """The content address of one routing computation.
+
+    ``sha256(canonical board JSON + config fingerprint + repro
+    version)``: any change to the input geometry, to an *effective*
+    config knob (``fingerprint()`` already ignores provenance-only
+    fields), or to the code version yields a different key — the three
+    things that could change what routing would produce.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(canonical_json(board_dict).encode("utf-8"))
+    hasher.update(b"\n")
+    hasher.update(config_fingerprint.encode("ascii"))
+    hasher.update(b"\n")
+    hasher.update(version.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+class ResultCache:
+    """A directory of content-addressed run artifacts.
+
+    Thread-safe: the counters and the eviction sweep are guarded by one
+    lock, while entry reads/writes rely on the filesystem's atomic
+    rename semantics (safe across *processes* too — see the module
+    docstring).
+    """
+
+    def __init__(
+        self,
+        cache_dir: str,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        self.cache_dir = cache_dir
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._corrupt = 0
+        os.makedirs(cache_dir, exist_ok=True)
+
+    # -- paths --------------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            # Keys are hex digests; anything else would be a path
+            # traversal vector when the key arrives over HTTP.
+            raise ValueError(f"malformed cache key: {key!r}")
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    # -- core operations ----------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The entry payload for ``key``, or ``None`` on a miss.
+
+        A hit refreshes the entry's mtime (the LRU clock).  A present
+        but unreadable entry — truncated write from a killed process,
+        garbage bytes, a foreign document — is deleted and counted as
+        corrupt *and* a miss: callers always either get a valid payload
+        or re-route.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                document = json.load(fh)
+            if (
+                document.get("kind") != CACHE_KIND
+                or document.get("version") != CACHE_FORMAT_VERSION
+                or document.get("key") != key
+                or "payload" not in document
+            ):
+                raise ValueError("not a cache entry")
+        except FileNotFoundError:
+            with self._lock:
+                self._misses += 1
+            return None
+        except (OSError, ValueError, AttributeError) as exc:
+            # json.JSONDecodeError is a ValueError; AttributeError
+            # covers a non-dict top-level document.
+            self._discard_corrupt(path, exc)
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            # A concurrent eviction or cleanup removed the file after we
+            # read it; the payload in hand is still valid.
+            pass
+        with self._lock:
+            self._hits += 1
+        return document["payload"]
+
+    def put(self, key: str, payload: Dict[str, Any]) -> str:
+        """Store ``payload`` under ``key``; returns the entry path.
+
+        The temp file lives in the cache directory itself so the final
+        ``os.replace`` is a same-filesystem atomic rename: concurrent
+        writers of one key each publish a complete entry and the last
+        rename wins — no reader ever sees a partial document.
+        """
+        path = self._path(key)
+        document = {
+            "kind": CACHE_KIND,
+            "version": CACHE_FORMAT_VERSION,
+            "repro_version": __version__,
+            "key": key,
+            "payload": payload,
+        }
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=f".{key[:16]}.", suffix=".tmp", dir=self.cache_dir
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(document, fh, separators=(",", ":"))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self._evict_if_needed()
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        """Presence probe that does not touch the counters or the LRU
+        clock (and does not validate the entry — use :meth:`get`)."""
+        try:
+            return os.path.exists(self._path(key))
+        except ValueError:
+            return False
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were deleted."""
+        removed = 0
+        for name in os.listdir(self.cache_dir):
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.cache_dir, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _discard_corrupt(self, path: str, exc: Exception) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        with self._lock:
+            self._corrupt += 1
+            self._misses += 1
+
+    def _entries(self):
+        """``(path, size, mtime)`` for every entry currently on disk."""
+        rows = []
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return rows
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue  # evicted/removed under us
+            rows.append((path, st.st_size, st.st_mtime))
+        return rows
+
+    def _evict_if_needed(self) -> int:
+        """LRU sweep: delete oldest-touched entries until the store fits
+        ``max_bytes`` again; returns how many entries were evicted."""
+        with self._lock:
+            entries = self._entries()
+            total = sum(size for _, size, _ in entries)
+            if total <= self.max_bytes:
+                return 0
+            evicted = 0
+            for path, size, _ in sorted(entries, key=lambda row: row[2]):
+                if total <= self.max_bytes:
+                    break
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                total -= size
+                evicted += 1
+            self._evictions += evicted
+            return evicted
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters plus the store's current on-disk footprint."""
+        with self._lock:
+            entries = self._entries()
+            return {
+                "cache_dir": os.path.abspath(self.cache_dir),
+                "entries": len(entries),
+                "bytes": sum(size for _, size, _ in entries),
+                "max_bytes": self.max_bytes,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "corrupt": self._corrupt,
+            }
+
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CACHE_KIND",
+    "DEFAULT_MAX_BYTES",
+    "ResultCache",
+    "cache_key",
+]

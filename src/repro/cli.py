@@ -9,14 +9,21 @@ Subcommands::
     python -m repro gen --list
     python -m repro corpus run --quick --outdir out
     python -m repro corpus run --resume out
+    python -m repro corpus run --cache-dir .repro-cache
+    python -m repro serve --port 8765 --cache-dir .repro-cache
+    python -m repro route board.json --remote http://127.0.0.1:8765 --json
     python -m repro bench table1 --cases 1 --json
     python -m repro bench all --outdir out
     python -m repro bench --perf --quick
     python -m repro bench --perf --scenarios
 
 ``route`` runs the full :class:`~repro.api.RoutingSession` pipeline and
-can persist the structured :class:`~repro.api.RunResult`; ``check`` is
-the stand-alone DRC gate; ``render`` draws a board; ``gen`` builds a
+can persist the structured :class:`~repro.api.RunResult` (with
+``--remote URL`` the board is routed by a running ``serve`` daemon
+instead, same envelope and exit codes); ``check`` is
+the stand-alone DRC gate; ``serve`` runs the :mod:`repro.server`
+routing-as-a-service daemon in front of the :mod:`repro.cache`
+content-addressed result cache; ``render`` draws a board; ``gen`` builds a
 seeded :mod:`repro.scenarios` board (same scenario + seed + params ⇒
 byte-identical JSON); ``corpus run`` sweeps the scenario corpus and
 writes the aggregate report; ``bench`` regenerates the paper's tables
@@ -104,10 +111,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     route.add_argument(
         "--json", action="store_true",
-        help="print the RunResult as JSON instead of the summary",
+        help="print the route_response envelope (key, cache state, "
+        "status, RunResult) as JSON instead of the summary — the same "
+        "schema a repro server answers with",
     )
     route.add_argument(
         "--quiet", action="store_true", help="suppress stage progress lines"
+    )
+    route.add_argument(
+        "--remote", default=None, metavar="URL",
+        help="send the board to a running `repro serve` daemon at URL "
+        "instead of routing in-process (same envelope, same exit codes)",
     )
 
     check = sub.add_parser("check", help="DRC-check a board JSON file")
@@ -118,7 +132,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip routable-area containment checks",
     )
     check.add_argument(
-        "--json", action="store_true", help="print violations as JSON"
+        "--json", action="store_true",
+        help="print the check_response envelope (clean flag, violation "
+        "count, report) as JSON — the same schema a repro server "
+        "answers with",
     )
 
     render = sub.add_parser("render", help="render a board JSON file to SVG")
@@ -214,6 +231,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the aggregate report as JSON instead of the summary",
     )
+    corpus.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache: boards whose (board JSON, "
+        "config, version) key is already cached skip routing entirely; "
+        "fresh results are published back (see repro.cache)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the routing-as-a-service HTTP daemon"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port; 0 binds an ephemeral port, announced on stdout "
+        "(default: %(default)s)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="persistent content-addressed result cache directory "
+        "(default: %(default)s)",
+    )
+    serve.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="N",
+        help="cache size budget; oldest-used entries are evicted past it "
+        "(default: 256 MiB)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker-process cap for batch requests (default: in-process "
+        "serial routing)",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-request log lines"
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -272,6 +326,17 @@ def _cmd_route(args: argparse.Namespace) -> int:
     if args.no_drc:
         config.drc.enabled = False
 
+    if args.remote is not None:
+        return _route_remote(args, board, config)
+
+    # The content address of this computation — captured *before*
+    # routing mutates the board, so local and remote envelopes agree on
+    # the key for the same request.
+    from .cache import cache_key
+    from .io import board_to_dict
+
+    key = cache_key(board_to_dict(board), config.fingerprint())
+
     on_stage_start = None
     if not args.quiet and not args.json:
         on_stage_start = lambda session, stage: print(f"[{stage.name}] ...")
@@ -282,9 +347,59 @@ def _cmd_route(args: argparse.Namespace) -> int:
     if args.svg:
         render_board(board, path=args.svg)
     if args.json:
-        print(json.dumps(run_result_to_dict(result), indent=2))
+        # The server's route_response schema with cache=None: a local
+        # run consults no cache, but the key still names the artifact a
+        # daemon would serve for this exact request.
+        envelope: Dict[str, Any] = {
+            "kind": "route_response",
+            "key": key,
+            "cache": None,
+            "status": result.status,
+            "result": run_result_to_dict(result),
+        }
+        if result.error is not None:
+            envelope["error"] = result.error
+        print(json.dumps(envelope, indent=2))
     else:
         print(result.summary())
+        if args.out:
+            print(f"wrote {args.out}")
+        if args.svg:
+            print(f"wrote {args.svg}")
+    return 0 if result.ok() else 1
+
+
+def _route_remote(args: argparse.Namespace, board, config) -> int:
+    """Route via a running daemon; same outputs and exit codes as local."""
+    from .io import board_from_dict, run_result_from_dict
+    from .server.client import ServerClient
+
+    client = ServerClient(args.remote)
+    response = client.route(
+        board,
+        config=config.to_dict(),
+        # The routed geometry only travels back when something needs it.
+        return_board=args.svg is not None,
+    )
+    envelope = response.payload
+    if envelope.get("kind") == "error_response":
+        message = envelope.get("error", {}).get("message", "server error")
+        print(f"error: {args.remote}: {message}", file=sys.stderr)
+        return 2
+    result = run_result_from_dict(envelope["result"])
+    if args.out:
+        save_result(result, args.out)
+    if args.svg and envelope.get("routed_board") is not None:
+        render_board(board_from_dict(envelope["routed_board"]), path=args.svg)
+    if args.json:
+        # The server's envelope verbatim (minus the board geometry,
+        # which --json consumers did not ask for).
+        envelope.pop("routed_board", None)
+        print(json.dumps(envelope, indent=2))
+    else:
+        cache_note = envelope.get("cache")
+        print(result.summary())
+        print(f"served by {args.remote} (cache {cache_note})")
         if args.out:
             print(f"wrote {args.out}")
         if args.svg:
@@ -298,10 +413,50 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if args.json:
         from .io import drc_report_to_dict
 
-        print(json.dumps(drc_report_to_dict(report), indent=2))
+        # The server's check_response schema, byte-compatible with
+        # POST /check — local and remote DRC gates are interchangeable
+        # to machine consumers.
+        print(
+            json.dumps(
+                {
+                    "kind": "check_response",
+                    "clean": report.is_clean(),
+                    "violations": len(report),
+                    "report": drc_report_to_dict(report),
+                },
+                indent=2,
+            )
+        )
     else:
         print("DRC clean" if report.is_clean() else str(report))
     return 0 if report.is_clean() else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .cache import DEFAULT_MAX_BYTES
+    from .server import make_http_server, serve_forever
+
+    server = make_http_server(
+        cache_dir=args.cache_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_max_bytes=(
+            args.cache_max_bytes
+            if args.cache_max_bytes is not None
+            else DEFAULT_MAX_BYTES
+        ),
+        quiet=args.quiet,
+    )
+    # Announced on stdout (and flushed) so wrappers that asked for an
+    # ephemeral port (--port 0) can read the real endpoint back.
+    print(
+        f"repro-serve listening on {server.url} "
+        f"(cache: {args.cache_dir}, workers: {args.workers or 'serial'})",
+        flush=True,
+    )
+    serve_forever(server)
+    return 0
 
 
 def _parse_param(text: str) -> tuple:
@@ -407,6 +562,7 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retry=args.retry,
         resume=args.resume is not None,
+        cache=args.cache_dir,
     )
     if args.json:
         # The same versioned envelope save_corpus_report writes, so
@@ -504,6 +660,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "render": _cmd_render,
         "gen": _cmd_gen,
         "corpus": _cmd_corpus,
+        "serve": _cmd_serve,
         "bench": _cmd_bench,
     }[args.command]
     try:

@@ -122,6 +122,46 @@ def board_to_json(board: Board, indent: int = 2) -> str:
     return json.dumps(board_to_dict(board), indent=indent)
 
 
+def _canonical_numbers(value: Any) -> Any:
+    """A shadow copy with every non-bool number as a float, so ``5`` and
+    ``5.0`` — equal values, different JSON spellings — serialise to the
+    same bytes.  (Ints beyond 2**53 would lose exactness, but board
+    documents carry geometry and small counts, never such values.)"""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, dict):
+        return {k: _canonical_numbers(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_numbers(v) for v in value]
+    return value
+
+
+def canonical_json(data: Any) -> str:
+    """``data`` as minimal, key-sorted JSON — one byte string per value.
+
+    The content-addressing primitive: two documents that compare equal
+    serialise to the same bytes regardless of insertion order, original
+    whitespace or numeric spelling (``0`` vs ``0.0`` — a saved board
+    file and a decoded-re-encoded board must name the same content), so
+    hashes over this text are stable identities (see
+    :func:`repro.cache.cache_key`).  Floats keep their exact ``repr``
+    round-trip text, so distinct geometries never collide.
+    """
+    return json.dumps(
+        _canonical_numbers(data),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+    )
+
+
+def board_canonical_json(board: Board) -> str:
+    """The board's canonical JSON text (its content identity)."""
+    return canonical_json(board_to_dict(board))
+
+
 def save_board(board: Board, path: str) -> str:
     """Write the board to ``path``; returns the path."""
     with open(path, "w", encoding="utf-8") as fh:

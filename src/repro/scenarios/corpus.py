@@ -21,12 +21,25 @@ import os
 import statistics
 import time
 import warnings
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from ..api import RoutingSession
+from ..api import RoutingSession, SessionConfig
 from ..model import Board
 from .registry import ScenarioFamily, generate, get, list_scenarios
 from .spec import ScenarioSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import ResultCache
 
 #: Minimum routed-and-DRC-clean rate over feasible-tagged scenarios for
 #: a corpus run to pass (what ``repro corpus run`` exits non-zero on).
@@ -150,6 +163,8 @@ def run_corpus(
     timeout: Optional[float] = None,
     retry: bool = False,
     resume: bool = False,
+    cache: Union[str, "ResultCache", None] = None,
+    on_case: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> Dict[str, Any]:
     """Generate, route and score a scenario corpus; returns the report.
 
@@ -168,8 +183,26 @@ def run_corpus(
     ``summary.gate_passed`` is the corpus verdict: the success rate over
     feasible-tagged scenarios must reach ``gate`` — crashed cases count
     against it like any other non-OK run.
+
+    ``cache`` (a directory path or a live
+    :class:`~repro.cache.ResultCache`) wires the content-addressed
+    result cache underneath the sweep: each generated board's cache key
+    (canonical board JSON + config fingerprint + library version) is
+    probed before routing, hits adopt their cached routed geometry and
+    skip the pipeline entirely, and fresh non-crashed results are
+    published back — so only *changed* boards re-route across repeated
+    sweeps, incremental far beyond ``resume``.  ``on_case`` fires with
+    each case row as it settles (resumed, cached, then routed), which is
+    how the server streams corpus progress.
     """
-    from ..io import save_board, save_corpus_case, save_corpus_report
+    from ..io import (
+        board_from_dict,
+        board_to_dict,
+        run_result_from_dict,
+        save_board,
+        save_corpus_case,
+        save_corpus_report,
+    )
 
     if scenarios is not None:
         # Dedupe while keeping request order: a repeated name must not
@@ -233,20 +266,69 @@ def run_corpus(
                 RuntimeWarning,
             )
             del completed[board.name]
-    run_boards = [board for board in boards if board.name not in completed]
+    cases_by_board: Dict[str, Dict[str, Any]] = {
+        name: case for name, (case, _result) in completed.items()
+    }
+    if on_case is not None:
+        for name, (case, _result) in completed.items():
+            on_case(case)
+
+    results_dir = _results_dir(outdir) if outdir is not None else None
+
+    # -- content-addressed cache probe (see the docstring) ------------------
+    cache_obj: Optional["ResultCache"] = None
+    if cache is not None:
+        from ..cache import ResultCache
+        from ..cache import cache_key as _corpus_cache_key
+
+        cache_obj = ResultCache(cache) if isinstance(cache, str) else cache
+    cached_names: set = set()
+    keys_by_name: Dict[str, str] = {}
+    if cache_obj is not None:
+        # Keys are computed from the *pre-route* board (the session
+        # mutates boards in place) under the one effective config.
+        fingerprint = SessionConfig.preset(preset).fingerprint()
+        for board in boards:
+            if board.name in completed:
+                continue
+            key = _corpus_cache_key(board_to_dict(board), fingerprint)
+            keys_by_name[board.name] = key
+            entry = cache_obj.get(key)
+            if entry is None:
+                continue
+            result = run_result_from_dict(entry["result"])
+            if entry.get("routed_board") is not None:
+                # Adopt the cached routed geometry so skew/DRC metrics
+                # see the board exactly as the producing run left it.
+                from ..api.executor import _adopt_routed
+
+                _adopt_routed(board, board_from_dict(entry["routed_board"]))
+            case = _case_metrics(board, result)
+            cases_by_board[board.name] = case
+            cached_names.add(board.name)
+            if results_dir is not None:
+                os.makedirs(results_dir, exist_ok=True)
+                save_corpus_case(
+                    case,
+                    result,
+                    os.path.join(results_dir, f"{board.name}.json"),
+                )
+            if on_case is not None:
+                on_case(case)
+
+    run_boards = [
+        board
+        for board in boards
+        if board.name not in completed and board.name not in cached_names
+    ]
     # What run_many will actually do, recorded in the report (the serial
     # fallbacks below mirror the executor's own dispatch rule).
     effective_workers = (
         workers if workers is not None and workers > 1 and len(run_boards) > 1 else 1
     )
 
-    results_dir = _results_dir(outdir) if outdir is not None else None
     if results_dir is not None and run_boards:
         os.makedirs(results_dir, exist_ok=True)
-
-    cases_by_board: Dict[str, Dict[str, Any]] = {
-        name: case for name, (case, _result) in completed.items()
-    }
 
     def on_board_done(index: int, board: Board, result) -> None:
         # One row per case, computed here (the board's routed geometry
@@ -261,16 +343,34 @@ def run_corpus(
             save_corpus_case(
                 case, result, os.path.join(results_dir, f"{board.name}.json")
             )
+        if cache_obj is not None and result.status != "crashed":
+            # Publish deterministic verdicts (ok and failed alike); a
+            # crash may be transient (timeout, dead worker) and must
+            # not be pinned past its cause.
+            from ..io import run_result_to_dict
+
+            cache_obj.put(
+                keys_by_name[board.name],
+                {
+                    "result": run_result_to_dict(result),
+                    "routed_board": board_to_dict(board),
+                },
+            )
+        if on_case is not None:
+            on_case(case)
 
     started = time.perf_counter()
-    RoutingSession.run_many(
-        run_boards,
-        config=preset,
-        workers=workers,
-        timeout=timeout,
-        retry=retry,
-        on_board_done=on_board_done,
-    )
+    if run_boards:
+        # A fully resumed/cached sweep never touches the executor at
+        # all (the corpus cache tests pin this down by poisoning it).
+        RoutingSession.run_many(
+            run_boards,
+            config=preset,
+            workers=workers,
+            timeout=timeout,
+            retry=retry,
+            on_board_done=on_board_done,
+        )
     wall_s = time.perf_counter() - started
 
     by_scenario: Dict[str, List[Dict[str, Any]]] = {f.name: [] for f in families}
@@ -278,10 +378,14 @@ def run_corpus(
         case = cases_by_board[board.name]
         by_scenario[spec.name].append(case)
         if verbose:
-            resumed = " (resumed)" if board.name in completed else ""
+            note = (
+                " (resumed)"
+                if board.name in completed
+                else " (cached)" if board.name in cached_names else ""
+            )
             print(
                 f"  {board.name:<24} {case['status']:<8} ok={case['ok']!s:<5} "
-                f"err={case['max_error']:.5f} {case['run_s']:.2f}s{resumed}"
+                f"err={case['max_error']:.5f} {case['run_s']:.2f}s{note}"
             )
 
     aggregates = [_aggregate(family, by_scenario[family.name]) for family in families]
@@ -302,6 +406,7 @@ def run_corpus(
             "ok": sum(a["ok"] for a in aggregates),
             "crashed": sum(a["crashed"] for a in aggregates),
             "resumed": len([b for b in boards if b.name in completed]),
+            "cached": len(cached_names),
             "feasible_boards": feasible_boards,
             "feasible_ok": feasible_ok,
             "feasible_success_rate": feasible_rate,
@@ -309,6 +414,9 @@ def run_corpus(
             "gate_passed": feasible_rate is not None and feasible_rate >= gate,
         },
     }
+
+    if cache_obj is not None:
+        report["cache"] = cache_obj.stats()
 
     if outdir is not None:
         os.makedirs(outdir, exist_ok=True)
@@ -321,9 +429,12 @@ def run_corpus(
         resumed_note = (
             f", {summary['resumed']} resumed" if summary["resumed"] else ""
         )
+        cached_note = (
+            f", {summary['cached']} cached" if summary["cached"] else ""
+        )
         print(
             f"corpus: {summary['ok']}/{summary['boards']} ok{crashed_note}"
-            f"{resumed_note}, feasible "
+            f"{resumed_note}{cached_note}, feasible "
             f"{summary['feasible_ok']}/{summary['feasible_boards']} "
             f"(gate {gate:.0%}: "
             f"{'passed' if summary['gate_passed'] else 'FAILED'}), "

@@ -1,0 +1,671 @@
+"""The routing service: application core plus the stdlib HTTP adapter.
+
+:class:`RouterApp` is deliberately transport-free — every endpoint is a
+method taking a parsed JSON payload and returning ``(http_status,
+envelope)`` or an iterator of NDJSON event dicts — so the whole protocol
+is unit-testable without sockets.  :func:`make_http_server` wraps it in
+a ``ThreadingHTTPServer`` whose handler only does wire work: read the
+body, dispatch, serialise.
+
+Every routing answer goes through the content-addressed cache first
+(:mod:`repro.cache`): the key is computed from the *request* (canonical
+board JSON + config fingerprint + library version), so a hit is served
+without constructing a session, running a stage, or even decoding the
+board — the poisoned-stage test in ``tests/server`` proves exactly
+that.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from .._version import __version__
+from ..api import RoutingSession, SessionConfig
+from ..api.executor import run_batch
+from ..cache import DEFAULT_MAX_BYTES, ResultCache, cache_key
+from ..drc import check_board
+from ..io import (
+    board_from_dict,
+    board_to_dict,
+    corpus_report_to_dict,
+    drc_report_to_dict,
+    run_result_to_dict,
+)
+
+#: RunResult.status → HTTP status for single-board responses.  Batch
+#: endpoints always answer 200 and carry per-board status per line.
+STATUS_TO_HTTP = {"ok": 200, "failed": 422, "crashed": 500}
+
+
+class RequestError(ValueError):
+    """A malformed request (missing field, bad board document, unknown
+    preset); mapped to HTTP 400 by the transport."""
+
+
+def _error_envelope(exc: BaseException) -> Dict[str, Any]:
+    return {
+        "kind": "error_response",
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+
+
+class RouterApp:
+    """One daemon's worth of state: the cache, the knobs, the counters."""
+
+    def __init__(
+        self,
+        cache_dir: str,
+        workers: Optional[int] = None,
+        cache_max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        self.cache = ResultCache(cache_dir, max_bytes=cache_max_bytes)
+        #: Default worker-process count for batch requests (a request
+        #: may override it downward; never upward past this cap).
+        self.workers = workers
+        self._started = time.time()
+        self._lock = threading.Lock()
+        self._requests: Dict[str, int] = {}
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _count(self, endpoint: str) -> None:
+        with self._lock:
+            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+
+    # -- config resolution --------------------------------------------------
+
+    def _resolve_config(self, payload: Dict[str, Any]) -> SessionConfig:
+        """The request's effective config: a full ``config`` snapshot
+        wins over a ``preset`` name; the default preset otherwise."""
+        if "config" in payload and payload["config"] is not None:
+            if not isinstance(payload["config"], dict):
+                raise RequestError("'config' must be a SessionConfig snapshot")
+            return SessionConfig.from_dict(payload["config"])
+        preset = payload.get("preset", "default")
+        try:
+            return SessionConfig.preset(preset)
+        except ValueError as exc:
+            raise RequestError(str(exc)) from exc
+
+    def _request_workers(self, payload: Dict[str, Any]) -> Optional[int]:
+        requested = payload.get("workers")
+        if requested is None:
+            return self.workers
+        if not isinstance(requested, int) or requested < 1:
+            raise RequestError("'workers' must be a positive integer")
+        if self.workers is not None:
+            return min(requested, self.workers)
+        return requested
+
+    # -- the cached routing core --------------------------------------------
+
+    def _route_one(
+        self,
+        board_dict: Dict[str, Any],
+        config: SessionConfig,
+        fingerprint: str,
+    ) -> Tuple[str, str, Dict[str, Any], Optional[Dict[str, Any]]]:
+        """``(key, "hit"|"miss", result_dict, routed_board_dict)``.
+
+        On a hit nothing of the pipeline runs — not even board
+        decoding.  On a miss the board is routed in-process with crash
+        capture, and any non-crashed outcome (ok *and* failed are both
+        deterministic verdicts) is published to the cache.
+        """
+        key = cache_key(board_dict, fingerprint)
+        entry = self.cache.get(key)
+        if entry is not None:
+            return key, "hit", entry["result"], entry.get("routed_board")
+        if not isinstance(board_dict, dict):
+            raise RequestError("board must be a JSON object (see repro.io)")
+        try:
+            board = board_from_dict(board_dict)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise RequestError(f"invalid board document: {exc}") from exc
+        result = RoutingSession(board, config=config).run(capture_errors=True)
+        result_dict = run_result_to_dict(result)
+        routed = board_to_dict(board)
+        if result.status != "crashed":
+            # A crash may be transient (resources, a killed worker);
+            # caching it would pin the failure past its cause.
+            self.cache.put(key, {"result": result_dict, "routed_board": routed})
+        return key, "miss", result_dict, routed
+
+    @staticmethod
+    def _route_envelope(
+        key: str,
+        cache_state: str,
+        result_dict: Dict[str, Any],
+        routed: Optional[Dict[str, Any]],
+        return_board: bool,
+    ) -> Dict[str, Any]:
+        envelope: Dict[str, Any] = {
+            "kind": "route_response",
+            "key": key,
+            "cache": cache_state,
+            "status": result_dict.get("status", "ok"),
+            "result": result_dict,
+        }
+        if result_dict.get("error") is not None:
+            # Surface the PR 5 error record (type, message, stage,
+            # traceback tail) at the top level for 422/500 consumers.
+            envelope["error"] = result_dict["error"]
+        if return_board:
+            envelope["routed_board"] = routed
+        return envelope
+
+    # -- endpoints ----------------------------------------------------------
+
+    def healthz(self) -> Tuple[int, Dict[str, Any]]:
+        self._count("healthz")
+        return 200, {
+            "kind": "healthz_response",
+            "ok": True,
+            "version": __version__,
+        }
+
+    def stats(self) -> Tuple[int, Dict[str, Any]]:
+        self._count("stats")
+        with self._lock:
+            requests = dict(self._requests)
+        return 200, {
+            "kind": "stats_response",
+            "version": __version__,
+            "uptime_s": time.time() - self._started,
+            "workers": self.workers,
+            "requests": requests,
+            "cache": self.cache.stats(),
+        }
+
+    def result(self, key: str) -> Tuple[int, Dict[str, Any]]:
+        """A cached artifact by content address (404 when absent).
+
+        Reads go through :meth:`ResultCache.get`, so they count in the
+        hit/miss statistics and refresh the entry's LRU clock like any
+        other consumer.
+        """
+        self._count("result")
+        try:
+            entry = self.cache.get(key)
+        except ValueError as exc:
+            return 400, _error_envelope(RequestError(str(exc)))
+        if entry is None:
+            return 404, {
+                "kind": "error_response",
+                "error": {
+                    "type": "KeyError",
+                    "message": f"no cached result under {key}",
+                },
+            }
+        return 200, {
+            "kind": "result_response",
+            "key": key,
+            "result": entry["result"],
+            "routed_board": entry.get("routed_board"),
+        }
+
+    def route(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """Single-board ``POST /route``: status-mapped JSON response."""
+        self._count("route")
+        try:
+            config = self._resolve_config(payload)
+            board_dict = payload.get("board")
+            if board_dict is None:
+                raise RequestError("missing 'board' (send 'boards' for a batch)")
+            key, cache_state, result_dict, routed = self._route_one(
+                board_dict, config, config.fingerprint()
+            )
+        except RequestError as exc:
+            return 400, _error_envelope(exc)
+        envelope = self._route_envelope(
+            key,
+            cache_state,
+            result_dict,
+            routed,
+            bool(payload.get("return_board")),
+        )
+        http = STATUS_TO_HTTP.get(envelope["status"], 500)
+        return http, envelope
+
+    def route_batch_events(
+        self, payload: Dict[str, Any]
+    ) -> Iterator[Dict[str, Any]]:
+        """Batch ``POST /route``: one NDJSON event per board as it
+        settles (cache hits first, then misses in completion order),
+        then a ``batch_done`` summary.
+
+        Misses run through the PR 5 fault-isolated
+        :func:`~repro.api.executor.run_batch` — with worker processes
+        when configured — so one poisoned board yields its own
+        ``status="crashed"`` line while the rest of the batch streams on.
+        """
+        self._count("route_batch")
+        config = self._resolve_config(payload)
+        boards = payload.get("boards")
+        if not isinstance(boards, list) or not boards:
+            raise RequestError("'boards' must be a non-empty list")
+        return_board = bool(payload.get("return_board"))
+        workers = self._request_workers(payload)
+        fingerprint = config.fingerprint()
+
+        keys = [cache_key(b, fingerprint) for b in boards]
+        counts = {"ok": 0, "failed": 0, "crashed": 0}
+        hits = 0
+        misses: list = []  # (input index, decoded board) pairs
+
+        def board_event(
+            index: int,
+            key: str,
+            cache_state: str,
+            result_dict: Dict[str, Any],
+            routed: Optional[Dict[str, Any]],
+        ) -> Dict[str, Any]:
+            counts[result_dict.get("status", "ok")] = (
+                counts.get(result_dict.get("status", "ok"), 0) + 1
+            )
+            event = {
+                "event": "board_done",
+                "index": index,
+                "board": result_dict.get("board", ""),
+                **self._route_envelope(
+                    key, cache_state, result_dict, routed, return_board
+                ),
+            }
+            event["kind"] = "route_event"
+            return event
+
+        def generate() -> Iterator[Dict[str, Any]]:
+            nonlocal hits
+            for index, board_dict in enumerate(boards):
+                entry = self.cache.get(keys[index])
+                if entry is not None:
+                    hits += 1
+                    yield board_event(
+                        index,
+                        keys[index],
+                        "hit",
+                        entry["result"],
+                        entry.get("routed_board"),
+                    )
+                else:
+                    try:
+                        misses.append((index, board_from_dict(board_dict)))
+                    except (ValueError, KeyError, TypeError) as exc:
+                        # One malformed board in a batch is that board's
+                        # problem, same as one crashing board.
+                        from ..api.executor import crashed_result
+
+                        result = crashed_result(
+                            board_dict.get("name", "")
+                            if isinstance(board_dict, dict)
+                            else "",
+                            exc,
+                            config=config,
+                        )
+                        yield board_event(
+                            index,
+                            keys[index],
+                            "miss",
+                            run_result_to_dict(result),
+                            None,
+                        )
+            if misses:
+                events: "queue.Queue[Optional[Dict[str, Any]]]" = queue.Queue()
+                indices = [index for index, _ in misses]
+                miss_boards = [board for _, board in misses]
+
+                def on_board_done(pos: int, board, result) -> None:
+                    index = indices[pos]
+                    result_dict = run_result_to_dict(result)
+                    routed = board_to_dict(board)
+                    if result.status != "crashed":
+                        self.cache.put(
+                            keys[index],
+                            {"result": result_dict, "routed_board": routed},
+                        )
+                    events.put(
+                        board_event(
+                            index, keys[index], "miss", result_dict, routed
+                        )
+                    )
+
+                def run() -> None:
+                    try:
+                        run_batch(
+                            miss_boards,
+                            config=config,
+                            workers=workers,
+                            on_board_done=on_board_done,
+                        )
+                    finally:
+                        events.put(None)
+
+                # run_batch only reports through its callback; the
+                # worker thread turns that push interface into the pull
+                # iterator the chunked HTTP response needs.
+                thread = threading.Thread(target=run, daemon=True)
+                thread.start()
+                while True:
+                    event = events.get()
+                    if event is None:
+                        break
+                    yield event
+                thread.join()
+            yield {
+                "kind": "route_event",
+                "event": "batch_done",
+                "boards": len(boards),
+                "cache_hits": hits,
+                **counts,
+            }
+
+        return generate()
+
+    def check(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """``POST /check`` — the stand-alone DRC gate.
+
+        Always 200 on a well-formed request: violations are the
+        endpoint's *answer*, not a transport failure (the ``clean``
+        flag and count carry the verdict).
+        """
+        self._count("check")
+        board_dict = payload.get("board")
+        if board_dict is None:
+            return 400, _error_envelope(RequestError("missing 'board'"))
+        try:
+            board = board_from_dict(board_dict)
+        except (ValueError, KeyError, TypeError) as exc:
+            return 400, _error_envelope(
+                RequestError(f"invalid board document: {exc}")
+            )
+        report = check_board(
+            board, check_areas=not payload.get("no_areas", False)
+        )
+        return 200, {
+            "kind": "check_response",
+            "clean": report.is_clean(),
+            "violations": len(report),
+            "report": drc_report_to_dict(report),
+        }
+
+    def corpus_events(
+        self, payload: Dict[str, Any]
+    ) -> Iterator[Dict[str, Any]]:
+        """``POST /corpus``: per-case NDJSON progress, then the report.
+
+        The sweep runs through :func:`repro.scenarios.run_corpus` with
+        this daemon's cache wired underneath, so only boards whose
+        content address is new actually route — repeated sweeps are
+        incremental far beyond ``--resume``.
+        """
+        self._count("corpus")
+        from ..scenarios import run_corpus
+        from ..scenarios.registry import get as get_scenario
+
+        names = payload.get("scenarios")
+        if names is not None:
+            if not isinstance(names, list):
+                raise RequestError("'scenarios' must be a list of names")
+            for name in names:
+                try:
+                    get_scenario(name)
+                except KeyError as exc:
+                    raise RequestError(str(exc.args[0])) from exc
+        seeds = payload.get("seeds")
+        quick = bool(payload.get("quick", False))
+        preset = payload.get("preset", "fast")
+        if preset not in SessionConfig.PRESETS:
+            raise RequestError(
+                f"unknown preset {preset!r}; expected one of "
+                f"{', '.join(SessionConfig.PRESETS)}"
+            )
+        workers = self._request_workers(payload)
+        gate = payload.get("gate")
+
+        def generate() -> Iterator[Dict[str, Any]]:
+            events: "queue.Queue[Optional[Dict[str, Any]]]" = queue.Queue()
+
+            def on_case(case: Dict[str, Any]) -> None:
+                events.put(
+                    {"kind": "corpus_event", "event": "case_done", **case}
+                )
+
+            outcome: Dict[str, Any] = {}
+
+            def run() -> None:
+                try:
+                    kwargs: Dict[str, Any] = dict(
+                        scenarios=names,
+                        seeds=seeds,
+                        quick=quick,
+                        preset=preset,
+                        workers=workers,
+                        cache=self.cache,
+                        on_case=on_case,
+                    )
+                    if gate is not None:
+                        kwargs["gate"] = float(gate)
+                    outcome["report"] = run_corpus(**kwargs)
+                except Exception as exc:  # surfaced as the final event
+                    outcome["error"] = exc
+                finally:
+                    events.put(None)
+
+            thread = threading.Thread(target=run, daemon=True)
+            thread.start()
+            while True:
+                event = events.get()
+                if event is None:
+                    break
+                yield event
+            thread.join()
+            if "error" in outcome:
+                yield {
+                    "kind": "corpus_event",
+                    "event": "error",
+                    **_error_envelope(outcome["error"]),
+                }
+            else:
+                yield {
+                    "kind": "corpus_event",
+                    "event": "report",
+                    "report": corpus_report_to_dict(outcome["report"]),
+                }
+
+        return generate()
+
+
+# -- the HTTP adapter -------------------------------------------------------
+
+
+def _make_handler_class(app: RouterApp, quiet: bool):
+    from http.server import BaseHTTPRequestHandler
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = f"repro-serve/{__version__}"
+        # Answers are small header writes followed by one body write;
+        # Nagle would hold the tail behind a delayed ACK and put
+        # milliseconds on every cache hit.
+        disable_nagle_algorithm = True
+
+        # -- wire helpers ---------------------------------------------------
+
+        def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+            body = json.dumps(payload, separators=(",", ":")).encode(
+                "utf-8"
+            ) + b"\n"
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_ndjson(self, events: Iterator[Dict[str, Any]]) -> None:
+            # Length is unknowable up front (events settle as boards
+            # route), so the stream ends by closing the connection —
+            # valid HTTP/1.1 with an explicit Connection: close.
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.close_connection = True
+            for event in events:
+                self.wfile.write(
+                    json.dumps(event, separators=(",", ":")).encode("utf-8")
+                    + b"\n"
+                )
+                self.wfile.flush()
+
+        def _read_payload(self) -> Dict[str, Any]:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                raise RequestError("empty request body; send a JSON object")
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise RequestError(f"invalid JSON body: {exc}") from exc
+            if not isinstance(payload, dict):
+                raise RequestError("request body must be a JSON object")
+            return payload
+
+        # -- dispatch -------------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+            try:
+                if self.path == "/healthz":
+                    self._send_json(*app.healthz())
+                elif self.path == "/stats":
+                    self._send_json(*app.stats())
+                elif self.path.startswith("/result/"):
+                    key = self.path[len("/result/") :]
+                    self._send_json(*app.result(key))
+                else:
+                    self._send_json(
+                        404,
+                        _error_envelope(
+                            RequestError(f"unknown path {self.path}")
+                        ),
+                    )
+            except BrokenPipeError:
+                pass
+            except Exception as exc:  # a handler bug must not kill the thread
+                self._send_json(500, _error_envelope(exc))
+
+        def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
+            try:
+                payload = self._read_payload()
+                if self.path == "/route":
+                    if "boards" in payload:
+                        self._send_ndjson(app.route_batch_events(payload))
+                    else:
+                        self._send_json(*app.route(payload))
+                elif self.path == "/check":
+                    self._send_json(*app.check(payload))
+                elif self.path == "/corpus":
+                    self._send_ndjson(app.corpus_events(payload))
+                else:
+                    self._send_json(
+                        404,
+                        _error_envelope(
+                            RequestError(f"unknown path {self.path}")
+                        ),
+                    )
+            except RequestError as exc:
+                self._send_json(400, _error_envelope(exc))
+            except BrokenPipeError:
+                pass
+            except Exception as exc:
+                try:
+                    self._send_json(500, _error_envelope(exc))
+                except Exception:
+                    pass
+
+        def log_message(self, format: str, *args: Any) -> None:
+            if not quiet:
+                super().log_message(format, *args)
+
+    return Handler
+
+
+class ReproHTTPServer:
+    """A bound, ready-to-serve daemon (thin ThreadingHTTPServer wrapper).
+
+    ``port=0`` binds an ephemeral port; read the real one back from
+    :attr:`port` (the bench and tests rely on this).
+    """
+
+    def __init__(
+        self,
+        app: RouterApp,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        quiet: bool = True,
+    ) -> None:
+        from http.server import ThreadingHTTPServer
+
+        self.app = app
+        handler = _make_handler_class(app, quiet=quiet)
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever()
+
+    def start_background(self) -> "ReproHTTPServer":
+        """Serve from a daemon thread (tests and the perf bench)."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+def make_http_server(
+    cache_dir: str,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    workers: Optional[int] = None,
+    cache_max_bytes: int = DEFAULT_MAX_BYTES,
+    quiet: bool = True,
+) -> ReproHTTPServer:
+    """A bound daemon fronting a fresh :class:`RouterApp`."""
+    app = RouterApp(
+        cache_dir, workers=workers, cache_max_bytes=cache_max_bytes
+    )
+    return ReproHTTPServer(app, host=host, port=port, quiet=quiet)
+
+
+def serve_forever(server: ReproHTTPServer) -> None:
+    """Blocking serve loop with a clean Ctrl-C shutdown (the CLI path)."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()

@@ -1,0 +1,185 @@
+"""A stdlib client for the repro routing service.
+
+Used by ``python -m repro route --remote URL``, the CI server-smoke job
+and the test-suite; any HTTP client speaks the same protocol (see the
+README "Serving" section), this one just packages the envelope handling.
+
+The server maps routing verdicts onto HTTP status codes (failed → 422,
+crashed → 500), so non-2xx answers still carry a JSON envelope —
+:class:`ServerClient` surfaces every such response as a
+:class:`ServerResponse` instead of raising, keeping local and remote
+error handling symmetrical.  Only transport-level failures (connection
+refused, malformed reply) raise.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional, Sequence, Union
+
+from ..io import board_to_dict
+from ..model import Board
+
+#: Per-request socket timeout; routing a large cold board takes a while,
+#: a hung daemon should still fail the client eventually.
+DEFAULT_TIMEOUT = 300.0
+
+
+@dataclass
+class ServerResponse:
+    """One HTTP answer: status code, parsed envelope, raw body bytes."""
+
+    status: int
+    payload: Dict[str, Any]
+    raw: bytes = field(repr=False, default=b"")
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class ServerClient:
+    """Typed access to one daemon's endpoints."""
+
+    def __init__(self, base_url: str, timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- wire helpers -------------------------------------------------------
+
+    def _request(
+        self, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> ServerResponse:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=(
+                json.dumps(payload).encode("utf-8")
+                if payload is not None
+                else None
+            ),
+            headers={"Content-Type": "application/json"},
+            method="POST" if payload is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                raw = resp.read()
+                status = resp.status
+        except urllib.error.HTTPError as exc:
+            # 4xx/5xx still carry the JSON envelope; hand it back.
+            raw = exc.read()
+            status = exc.code
+        return ServerResponse(
+            status=status, payload=json.loads(raw), raw=raw
+        )
+
+    def _stream(
+        self, path: str, payload: Dict[str, Any]
+    ) -> Iterator[Dict[str, Any]]:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            resp = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            # Pre-stream validation failed: one envelope, not a stream.
+            yield json.loads(exc.read())
+            return
+        with resp:
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    @staticmethod
+    def _board_dict(board: Union[Board, Dict[str, Any]]) -> Dict[str, Any]:
+        return board_to_dict(board) if isinstance(board, Board) else board
+
+    # -- endpoints ----------------------------------------------------------
+
+    def healthz(self) -> ServerResponse:
+        return self._request("/healthz")
+
+    def stats(self) -> ServerResponse:
+        return self._request("/stats")
+
+    def result(self, key: str) -> ServerResponse:
+        return self._request(f"/result/{key}")
+
+    def route(
+        self,
+        board: Union[Board, Dict[str, Any]],
+        preset: Optional[str] = None,
+        config: Optional[Dict[str, Any]] = None,
+        return_board: bool = False,
+    ) -> ServerResponse:
+        """Route one board; the envelope mirrors local ``route --json``."""
+        payload: Dict[str, Any] = {"board": self._board_dict(board)}
+        if preset is not None:
+            payload["preset"] = preset
+        if config is not None:
+            payload["config"] = config
+        if return_board:
+            payload["return_board"] = True
+        return self._request("/route", payload)
+
+    def route_batch(
+        self,
+        boards: Sequence[Union[Board, Dict[str, Any]]],
+        preset: Optional[str] = None,
+        config: Optional[Dict[str, Any]] = None,
+        workers: Optional[int] = None,
+        return_board: bool = False,
+    ) -> Iterator[Dict[str, Any]]:
+        """Route a batch; yields NDJSON events as boards settle."""
+        payload: Dict[str, Any] = {
+            "boards": [self._board_dict(b) for b in boards]
+        }
+        if preset is not None:
+            payload["preset"] = preset
+        if config is not None:
+            payload["config"] = config
+        if workers is not None:
+            payload["workers"] = workers
+        if return_board:
+            payload["return_board"] = True
+        return self._stream("/route", payload)
+
+    def check(
+        self,
+        board: Union[Board, Dict[str, Any]],
+        no_areas: bool = False,
+    ) -> ServerResponse:
+        payload: Dict[str, Any] = {"board": self._board_dict(board)}
+        if no_areas:
+            payload["no_areas"] = True
+        return self._request("/check", payload)
+
+    def corpus(
+        self,
+        scenarios: Optional[Sequence[str]] = None,
+        seeds: Optional[Sequence[int]] = None,
+        quick: bool = False,
+        preset: str = "fast",
+        workers: Optional[int] = None,
+        gate: Optional[float] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Run a corpus sweep; yields per-case events then the report."""
+        payload: Dict[str, Any] = {"quick": quick, "preset": preset}
+        if scenarios is not None:
+            payload["scenarios"] = list(scenarios)
+        if seeds is not None:
+            payload["seeds"] = list(seeds)
+        if workers is not None:
+            payload["workers"] = workers
+        if gate is not None:
+            payload["gate"] = gate
+        return self._stream("/corpus", payload)
+
+
+__all__ = ["DEFAULT_TIMEOUT", "ServerClient", "ServerResponse"]

@@ -86,8 +86,15 @@ class TestRoute:
         code = main(["route", board_file, "--preset", "fast", "--json"])
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["board"] == "golden"
-        assert [s["name"] for s in payload["stages"]] == ["region", "match", "drc"]
+        # The route_response envelope: same schema the server answers
+        # with; a local run consults no cache but still names the key.
+        assert payload["kind"] == "route_response"
+        assert payload["cache"] is None
+        assert len(payload["key"]) == 64
+        assert payload["status"] == "ok"
+        result = payload["result"]
+        assert result["board"] == "golden"
+        assert [s["name"] for s in result["stages"]] == ["region", "match", "drc"]
 
     def test_route_svg(self, board_file, tmp_path, capsys):
         svg = str(tmp_path / "board.svg")
@@ -101,7 +108,9 @@ class TestRoute:
         code = main(["route", board_file, "--no-region", "--no-drc", "--json"])
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
-        statuses = {s["name"]: s["status"] for s in payload["stages"]}
+        statuses = {
+            s["name"]: s["status"] for s in payload["result"]["stages"]
+        }
         assert statuses["region"] == "skipped"
         assert statuses["drc"] == "skipped"
 
@@ -115,7 +124,13 @@ class TestCheckRender:
     def test_check_json(self, board_file, capsys):
         assert main(["check", board_file, "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload == {"violations": []}
+        # The check_response envelope, byte-compatible with POST /check.
+        assert payload == {
+            "kind": "check_response",
+            "clean": True,
+            "violations": 0,
+            "report": {"violations": []},
+        }
 
     def test_render(self, board_file, tmp_path, capsys):
         out = str(tmp_path / "b.svg")
@@ -367,3 +382,73 @@ class TestExitCodes:
             cli.SessionConfig, "preset", staticmethod(strict_preset)
         )
         assert cli.main(["route", dirty_file, "--quiet"]) == 1
+
+
+class TestServeAndRemote:
+    """``serve`` + ``route --remote`` end to end, as real subprocesses."""
+
+    @pytest.fixture
+    def daemon(self, tmp_path):
+        """A live ``python -m repro serve --port 0`` daemon; yields its
+        base URL (parsed from the announcement line on stdout)."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",  # ephemeral: the daemon announces the real one
+                "--cache-dir", str(tmp_path / "cache"),
+                "--quiet",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "repro-serve listening on " in line, line
+            yield line.split("listening on ", 1)[1].split()[0]
+        finally:
+            proc.terminate()
+            proc.wait(timeout=30)
+
+    def test_remote_route_misses_then_hits(self, daemon, tmp_path):
+        board = str(tmp_path / "board.json")
+        save_board(golden_board(), board)
+        args = ["route", board, "--preset", "fast", "--remote", daemon, "--json"]
+
+        first = run_cli(args, tmp_path)
+        assert first.returncode == 0, first.stderr
+        cold = json.loads(first.stdout)
+        assert cold["kind"] == "route_response" and cold["cache"] == "miss"
+
+        second = run_cli(args, tmp_path)
+        warm = json.loads(second.stdout)
+        assert warm["cache"] == "hit"
+        assert warm["key"] == cold["key"]
+        assert warm["result"] == cold["result"]
+
+    def test_remote_matches_local_envelope_and_key(self, daemon, tmp_path):
+        board = str(tmp_path / "board.json")
+        save_board(golden_board(), board)
+        local = run_cli(
+            ["route", board, "--preset", "fast", "--json"], tmp_path
+        )
+        remote = run_cli(
+            ["route", board, "--preset", "fast", "--remote", daemon, "--json"],
+            tmp_path,
+        )
+        local_env = json.loads(local.stdout)
+        remote_env = json.loads(remote.stdout)
+        # Local and remote name the same content address for the same
+        # request, and agree on the verdict; only cache state differs.
+        assert remote_env["key"] == local_env["key"]
+        assert remote_env["status"] == local_env["status"] == "ok"
+
+    def test_remote_failed_verdict_exits_one(self, daemon, tmp_path):
+        board = str(tmp_path / "dirty.json")
+        save_board(dirty_board(), board)
+        proc = run_cli(["route", board, "--remote", daemon], tmp_path)
+        assert proc.returncode == 1
+        assert f"served by {daemon}" in proc.stdout

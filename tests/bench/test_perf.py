@@ -23,7 +23,13 @@ class TestRunPerfQuick:
     def test_structure(self, payload):
         assert payload["kind"] == "BENCH_perf"
         assert payload["quick"] is True
-        assert set(payload["phases"]) == {"dtw", "drc", "extension", "session"}
+        assert set(payload["phases"]) == {
+            "dtw",
+            "drc",
+            "extension",
+            "session",
+            "server",
+        }
         assert payload["machine"]["cpu_count"] >= 1
         assert payload["total_s"] > 0
 
@@ -42,6 +48,15 @@ class TestRunPerfQuick:
     def test_session_phase(self, payload):
         rows = payload["phases"]["session"]
         assert rows and all(r["ok"] for r in rows)
+
+    def test_server_phase(self, payload):
+        rows = payload["phases"]["server"]
+        assert rows and all(r["cache_hit"] for r in rows)
+        # The warm answer is the cold artifact, byte for byte, and the
+        # cache path must already win clearly at the quick scale.
+        assert all(r["identical"] for r in rows)
+        assert all(r["cold_status"] == "ok" for r in rows)
+        assert all(r["speedup"] > 3.0 for r in rows)
 
     def test_no_write_when_out_is_none(self, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)

@@ -1,0 +1,98 @@
+"""Corpus sweeps over the content-addressed cache: a repeated sweep is
+incremental far beyond ``--resume`` — the second run routes nothing."""
+
+import os
+
+import pytest
+
+from repro.api import RoutingSession
+from repro.cache import ResultCache
+from repro.io import load_corpus_case
+from repro.scenarios import run_corpus
+
+KWARGS = dict(scenarios=["serpentine_bus"], seeds=(0, 1), quick=True)
+
+
+@pytest.mark.smoke
+def test_second_sweep_is_fully_cached_and_routes_nothing(
+    tmp_path, monkeypatch
+):
+    cache_dir = str(tmp_path / "cache")
+    first = run_corpus(cache=cache_dir, **KWARGS)
+    assert first["summary"]["cached"] == 0
+    assert first["cache"]["entries"] == 2  # both verdicts published
+
+    # Second sweep: rip the executor out entirely.  Every case must be
+    # served from the cache — a single routed board would raise.
+    def boom(*args, **kwargs):
+        raise AssertionError("executor invoked on a fully cached sweep")
+
+    monkeypatch.setattr(RoutingSession, "run_many", boom)
+    events = []
+    second = run_corpus(cache=cache_dir, on_case=events.append, **KWARGS)
+
+    summary = second["summary"]
+    assert summary["cached"] == 2 and summary["boards"] == 2
+    assert [e["board"] for e in events] == [
+        "serpentine_bus-s0",
+        "serpentine_bus-s1",
+    ]
+    # Cached verdicts and metrics are the produced ones, not recomputed
+    # approximations.
+    for a_first, a_second in zip(first["scenarios"], second["scenarios"]):
+        assert a_second["ok"] == a_first["ok"]
+        assert a_second["max_error_max"] == a_first["max_error_max"]
+        for c_first, c_second in zip(a_first["cases"], a_second["cases"]):
+            assert c_second["provenance"] == c_first["provenance"]
+            assert c_second["ok"] == c_first["ok"]
+            assert c_second["max_error"] == c_first["max_error"]
+    assert second["cache"]["hits"] >= 2
+
+
+def test_cached_sweep_still_writes_case_artifacts(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    run_corpus(cache=cache_dir, **KWARGS)
+    outdir = str(tmp_path / "sweep")
+    run_corpus(cache=cache_dir, outdir=outdir, **KWARGS)
+    # Per-case artifacts land on disk even when every case was a cache
+    # hit — downstream tooling reads files, not the cache.
+    case, result = load_corpus_case(
+        os.path.join(outdir, "results", "serpentine_bus-s0.json")
+    )
+    assert case["board"] == "serpentine_bus-s0"
+    assert result.status in ("ok", "failed")
+
+
+def test_live_cache_object_is_shared_and_counted(tmp_path):
+    # The daemon hands its own ResultCache instance in; counters
+    # accumulate across sweeps on that one object.
+    cache = ResultCache(str(tmp_path / "cache"))
+    first = run_corpus(cache=cache, **KWARGS)
+    second = run_corpus(cache=cache, **KWARGS)
+    assert second["summary"]["cached"] == 2
+    assert second["cache"]["hits"] >= 2
+    assert cache.stats()["entries"] == 2
+    # Without a cache the report carries no cache block at all.
+    assert "cache" not in run_corpus(**KWARGS)
+
+
+def test_cache_composes_with_resume(tmp_path):
+    # resume (outdir artifacts) wins for already-materialised cases;
+    # the cache covers the rest; both short-circuit routing.
+    cache_dir = str(tmp_path / "cache")
+    run_corpus(cache=cache_dir, **KWARGS)  # publish both verdicts
+
+    outdir = str(tmp_path / "sweep")
+    run_corpus(  # materialise only s0's artifact in the sweep dir
+        cache=cache_dir,
+        outdir=outdir,
+        scenarios=["serpentine_bus"],
+        seeds=(0,),
+        quick=True,
+    )
+    report = run_corpus(cache=cache_dir, outdir=outdir, resume=True, **KWARGS)
+    summary = report["summary"]
+    assert summary["boards"] == 2
+    assert summary["resumed"] == 1  # s0 came from its artifact
+    assert summary["cached"] == 1  # s1 came from the cache
+    assert summary["gate_passed"]

@@ -1,0 +1,134 @@
+"""Live HTTP tests: one real daemon on an ephemeral port, driven by
+:class:`repro.server.client.ServerClient` (plus raw urllib for the
+malformed-wire cases the typed client cannot produce)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.io import board_to_dict
+from repro.server import make_http_server
+from repro.server.client import ServerClient, ServerResponse
+
+from test_app import failing_payload, good_board  # same-directory module
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    srv = make_http_server(
+        cache_dir=str(tmp_path_factory.mktemp("server-cache")),
+        port=0,  # ephemeral; the OS picks, srv.port reports
+    ).start_background()
+    try:
+        yield srv
+    finally:
+        srv.shutdown()
+
+
+@pytest.fixture(scope="module")
+def client(server) -> ServerClient:
+    return ServerClient(server.url)
+
+
+@pytest.mark.smoke
+class TestWire:
+    def test_healthz(self, client):
+        resp = client.healthz()
+        assert resp.ok and resp.payload["ok"] is True
+
+    def test_unknown_path_is_404_with_envelope(self, client, server):
+        try:
+            urllib.request.urlopen(server.url + "/nope", timeout=10)
+            raise AssertionError("expected HTTP 404")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+            assert json.load(exc)["kind"] == "error_response"
+
+    def test_non_json_body_is_400(self, client, server):
+        request = urllib.request.Request(
+            server.url + "/route", data=b"not json", method="POST"
+        )
+        try:
+            urllib.request.urlopen(request, timeout=10)
+            raise AssertionError("expected HTTP 400")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400
+            assert "invalid JSON" in json.load(exc)["error"]["message"]
+
+
+@pytest.mark.smoke
+class TestRouteOverHTTP:
+    def test_miss_then_hit_same_artifact(self, client):
+        board = good_board("http-one")
+        first = client.route(board, preset="fast")
+        assert first.ok and first.payload["cache"] == "miss"
+        second = client.route(board, preset="fast")
+        assert second.ok and second.payload["cache"] == "hit"
+        assert second.payload["key"] == first.payload["key"]
+        assert second.payload["result"] == first.payload["result"]
+
+    def test_result_endpoint_is_byte_stable(self, client):
+        key = client.route(good_board("http-two"), preset="fast").payload[
+            "key"
+        ]
+        a, b = client.result(key), client.result(key)
+        assert a.ok
+        assert a.raw == b.raw  # byte-identical artifact on every read
+
+    def test_failed_maps_to_422_but_still_answers(self, client):
+        payload = failing_payload()
+        resp = client.route(payload["board"], config=payload["config"])
+        assert resp.status == 422 and not resp.ok
+        # The envelope still carries the full verdict — the client
+        # surfaces 4xx/5xx as data, not an exception.
+        assert isinstance(resp, ServerResponse)
+        assert resp.payload["status"] == "failed"
+        assert resp.payload["result"]["board"] == "doomed"
+
+    def test_stats_reflect_traffic(self, client):
+        stats = client.stats().payload
+        assert stats["requests"]["route"] >= 3
+        assert stats["cache"]["hits"] >= 1
+        assert stats["cache"]["entries"] >= 1
+
+
+class TestBatchStreaming:
+    def test_ndjson_events_then_summary(self, client):
+        boards = [good_board("stream-a"), good_board("stream-b", 118.0)]
+        events = list(client.route_batch(boards, preset="fast"))
+        assert [e["event"] for e in events] == [
+            "board_done",
+            "board_done",
+            "batch_done",
+        ]
+        assert {e["board"] for e in events[:-1]} == {"stream-a", "stream-b"}
+        assert events[-1]["ok"] == 2
+
+    def test_pre_stream_validation_yields_one_envelope(self, client):
+        events = list(client.route_batch([], preset="fast"))
+        assert len(events) == 1
+        assert events[0]["kind"] == "error_response"
+
+
+class TestCheckOverHTTP:
+    def test_clean_board_is_200_clean(self, client):
+        resp = client.check(good_board("check-me"))
+        assert resp.ok
+        assert resp.payload["clean"] is True
+        assert resp.payload["violations"] == 0
+        assert resp.payload["report"]["violations"] == []
+
+    def test_missing_board_is_400(self, client, server):
+        request = urllib.request.Request(
+            server.url + "/check",
+            data=json.dumps({"no_areas": True}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            urllib.request.urlopen(request, timeout=10)
+            raise AssertionError("expected HTTP 400")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400
