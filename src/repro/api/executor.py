@@ -90,12 +90,21 @@ def _route_board_worker(payload):
     look like a dead worker to the parent.
     """
     board_dict, config_dict = payload
+    from .. import faults
     from ..io import board_from_dict, board_to_dict, run_result_to_dict
 
     config = (
         SessionConfig.from_dict(config_dict) if config_dict is not None else None
     )
     try:
+        # Worker-level chaos (repro.faults, armed via the environment
+        # so it crosses the process boundary): ``kill`` hard-exits this
+        # worker — the parent sees a broken pool and must attribute
+        # guilt; ``hang`` trips the per-board timeout path.
+        faults.inject(
+            "executor.worker",
+            board=board_dict.get("name", "") if isinstance(board_dict, dict) else "",
+        )
         board = board_from_dict(board_dict)
         result = RoutingSession(board, config=config).run(capture_errors=True)
         return run_result_to_dict(result), board_to_dict(board)

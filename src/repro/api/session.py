@@ -34,6 +34,7 @@ import time
 import traceback
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
+from .. import faults
 from ..core import MemberReport
 from ..model import Board
 from .config import SessionConfig
@@ -139,6 +140,12 @@ class RoutingSession:
                 self.on_stage_start(self, stage)
             stage_started = time.perf_counter()
             try:
+                # The chaos suite's stage-boundary injection point
+                # (repro.faults): inert unless a fault plan is armed in
+                # this process or via the environment.  Inside the try
+                # so an injected crash takes the same capture path as a
+                # real stage crash.
+                faults.inject(f"stage.{stage.name}", board=self.board.name)
                 record = stage.run(self, result)
             except Exception as exc:
                 if not capture_errors:

@@ -23,6 +23,10 @@ Phases
                :mod:`repro.server` daemon — the warm request is served
                from the content-addressed cache without running any
                pipeline stage;
+``server_faults``  warm-request p50/p99 latency under a seeded 1 %
+               ``http_503`` fault plan (:mod:`repro.faults`) against a
+               retrying client, next to the clean baseline — the
+               retry-overhead trajectory;
 ``batch``      ``run_many`` serial vs. ``workers=2`` on two boards
                (full mode only — wall-clock only helps with >1 CPU, but
                the number records the process-pool overhead either way).
@@ -359,6 +363,97 @@ def _phase_server(tiles: int, repeats: int) -> List[Dict[str, Any]]:
     ]
 
 
+def _percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of ``samples``."""
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, math.ceil(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def _phase_server_faults(
+    tiles: int, samples: int, fault_rate: float = 0.01
+) -> List[Dict[str, Any]]:
+    """Warm-request tail latency under a seeded 1 % fault plan.
+
+    The same daemon/board as the ``server`` phase, but every request
+    runs under a :mod:`repro.faults` plan injecting ``http_503``
+    overload answers at ``fault_rate`` probability (seeded — the same
+    fire sequence every bench run), against a client doing the
+    production retry policy (capped backoff + jitter, seeded rng).
+    ``p50_ms``/``p99_ms`` are the acceptance numbers: the median shows
+    retries cost nothing on the 99 % of clean requests, the p99 shows
+    the worst retried request stays bounded by the backoff cap.  The
+    clean-baseline percentiles ride along for the overhead comparison.
+    """
+    import tempfile
+
+    from .. import faults
+    from ..io import board_to_dict
+    from ..scenarios import generate
+    from ..server import make_http_server
+    from ..server.client import ServerClient
+
+    board_dict = board_to_dict(
+        generate("tiled", seed=0, params={"tiles": tiles})
+    )
+    plan = faults.FaultPlan(
+        "bench-1pct-overload",
+        seed=0,
+        specs=[
+            faults.FaultSpec(
+                site="transport.response",
+                mode="http_503",
+                probability=fault_rate,
+            )
+        ],
+    )
+
+    def warm_latencies(client: ServerClient) -> List[float]:
+        times: List[float] = []
+        for _ in range(samples):
+            t0 = time.perf_counter()
+            resp = client.route(board_dict, preset="fast")
+            times.append(time.perf_counter() - t0)
+            assert resp.ok  # every request must survive the plan
+        return times
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-chaos-") as cache_dir:
+        server = make_http_server(cache_dir, port=0).start_background()
+        try:
+            prime = ServerClient(server.url)
+            prime.route(board_dict, preset="fast")  # populate the cache
+
+            clean_client = ServerClient(server.url, rng=random.Random(0))
+            clean = warm_latencies(clean_client)
+
+            faulted_client = ServerClient(
+                server.url,
+                retries=3,
+                backoff_base=0.05,
+                backoff_cap=0.5,
+                rng=random.Random(0),
+            )
+            with faults.activate(plan):
+                faulted = warm_latencies(faulted_client)
+            fires = plan.fire_counts().get("transport.response:http_503", 0)
+        finally:
+            server.shutdown()
+    return [
+        {
+            "tiles": tiles,
+            "samples": samples,
+            "fault_rate": fault_rate,
+            "clean_p50_ms": _percentile(clean, 50) * 1e3,
+            "clean_p99_ms": _percentile(clean, 99) * 1e3,
+            "p50_ms": _percentile(faulted, 50) * 1e3,
+            "p99_ms": _percentile(faulted, 99) * 1e3,
+            "faults_fired": fires,
+            "retries": faulted_client.retry_count,
+            "all_ok": True,
+        }
+    ]
+
+
 def _phase_batch(repeats: int) -> List[Dict[str, Any]]:
     cases = (1, 2)
 
@@ -411,6 +506,9 @@ def run_perf(
         "extension": _phase_extension([4.0] if quick else [2.5, 4.0], repeats),
         "session": _phase_session([1] if quick else [1, 5], repeats),
         "server": _phase_server(8 if quick else 48, repeats),
+        "server_faults": _phase_server_faults(
+            8 if quick else 48, samples=100 if quick else 400
+        ),
     }
     if scenarios:
         phases["scenarios"] = _phase_scenarios(
@@ -468,6 +566,13 @@ def run_perf(
                 f"server    tiles={row['tiles']}  cold {row['cold_s']:.3f} s"
                 f"  warm {row['warm_s']*1e3:.2f} ms"
                 f"  ({_fmt_speedup(row['speedup'])}, cache_hit={row['cache_hit']})"
+            )
+        for row in phases["server_faults"]:
+            print(
+                f"faults    rate={row['fault_rate']:.0%}"
+                f"  p50 {row['p50_ms']:.2f} ms (clean {row['clean_p50_ms']:.2f})"
+                f"  p99 {row['p99_ms']:.2f} ms (clean {row['clean_p99_ms']:.2f})"
+                f"  fired={row['faults_fired']} retries={row['retries']}"
             )
         for row in phases.get("scenarios", ()):
             print(

@@ -16,20 +16,40 @@ Design points:
   and ``os.replace``'d into place, so concurrent writers of the same
   key race benignly (last rename wins, both files are complete) and a
   reader can never observe a torn entry.
-* **Corruption is a miss** — a truncated or garbage entry file fails
-  JSON validation, is counted, deleted (repaired) and reported as a
-  miss; the next route re-populates it.
+* **Corruption is a miss, and evidence is kept** — a truncated or
+  garbage entry file fails JSON validation, is counted, *quarantined*
+  into the ``quarantine/`` sidecar directory (not silently deleted —
+  the bytes are the forensic record of whatever tore them) and reported
+  as a miss; the next route re-populates the key.
+* **Degraded beats dead** — a store that cannot be written (unwritable
+  directory, ``ENOSPC``) flips the cache into *degraded* mode instead
+  of raising out of the request path: :meth:`put` becomes a recorded
+  no-op, :meth:`get` keeps trying (reads may still work), and
+  :meth:`stats` reports ``mode="degraded"`` plus the reason — which is
+  what the server surfaces in ``/healthz`` while it keeps routing.
 * **Bounded size** — ``max_bytes`` caps the store; when an insert
   pushes past it, a least-recently-used sweep (by file mtime, which
   :meth:`get` refreshes on every hit) evicts oldest entries until the
-  store fits again.
-* **Observable** — hit/miss/eviction/corruption counters plus on-disk
-  entry/byte totals surface through :meth:`ResultCache.stats`, which is
-  what the server's ``GET /stats`` endpoint returns.
+  store fits again.  Concurrent evictors racing over one entry are
+  benign: the loser's ``FileNotFoundError`` counts the freed bytes but
+  not the eviction.
+* **Observable** — hit/miss/eviction/corruption/quarantine counters
+  plus on-disk entry/byte totals surface through
+  :meth:`ResultCache.stats`, which is what the server's ``GET /stats``
+  endpoint returns.
+
+Fault injection (:mod:`repro.faults`) compiles into both I/O paths:
+``cache.write`` supports ``torn`` (a non-atomic half-written entry at
+the final path, exactly what a killed pre-PR-6 writer would leave),
+``garbage`` (arbitrary bytes) and ``enospc`` (an injected
+``OSError(ENOSPC)`` taking the real degradation path); ``cache.read``
+supports ``garbage`` (corrupts the on-disk entry first, so the genuine
+quarantine machinery handles it).
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -38,11 +58,15 @@ import threading
 from typing import Any, Dict, Optional
 
 from .._version import __version__
+from .. import faults
 from ..io import canonical_json
 
 #: Entry documents are self-describing like every other repro artifact.
 CACHE_FORMAT_VERSION = 1
 CACHE_KIND = "cache_entry"
+
+#: Where corrupt entries are moved for post-mortem instead of deleted.
+QUARANTINE_DIR = "quarantine"
 
 #: Default store budget: plenty for tens of thousands of results while
 #: staying invisible on a developer machine.
@@ -92,7 +116,23 @@ class ResultCache:
         self._misses = 0
         self._evictions = 0
         self._corrupt = 0
-        os.makedirs(cache_dir, exist_ok=True)
+        self._quarantined = 0
+        self._put_errors = 0
+        #: ``None`` while healthy; the reason string once degraded.
+        self.degraded: Optional[str] = None
+        try:
+            os.makedirs(cache_dir, exist_ok=True)
+        except OSError as exc:
+            # An uncreatable store must not take the caller down with
+            # it: serving without a cache beats not serving.
+            self._degrade(f"cache directory unusable: {exc}")
+
+    # -- degradation ---------------------------------------------------------
+
+    def _degrade(self, reason: str) -> None:
+        with self._lock:
+            if self.degraded is None:
+                self.degraded = reason
 
     # -- paths --------------------------------------------------------------
 
@@ -110,11 +150,21 @@ class ResultCache:
 
         A hit refreshes the entry's mtime (the LRU clock).  A present
         but unreadable entry — truncated write from a killed process,
-        garbage bytes, a foreign document — is deleted and counted as
-        corrupt *and* a miss: callers always either get a valid payload
-        or re-route.
+        garbage bytes, a foreign document — is quarantined and counted
+        as corrupt *and* a miss: callers always either get a valid
+        payload or re-route.
         """
         path = self._path(key)
+        spec = faults.decide("cache.read", key=key)
+        if spec is not None and spec.mode == "garbage":
+            # Corrupt the real on-disk entry, then read it normally:
+            # the genuine validation + quarantine path is what's under
+            # test, not a shortcut around it.
+            try:
+                with open(path, "r+b") as fh:
+                    fh.write(b"\x00chaos\xff")
+            except OSError:
+                pass
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 document = json.load(fh)
@@ -129,10 +179,10 @@ class ResultCache:
             with self._lock:
                 self._misses += 1
             return None
-        except (OSError, ValueError, AttributeError) as exc:
+        except (OSError, ValueError, AttributeError):
             # json.JSONDecodeError is a ValueError; AttributeError
             # covers a non-dict top-level document.
-            self._discard_corrupt(path, exc)
+            self._quarantine_corrupt(path)
             return None
         try:
             os.utime(path)
@@ -144,15 +194,23 @@ class ResultCache:
             self._hits += 1
         return document["payload"]
 
-    def put(self, key: str, payload: Dict[str, Any]) -> str:
-        """Store ``payload`` under ``key``; returns the entry path.
+    def put(self, key: str, payload: Dict[str, Any]) -> Optional[str]:
+        """Store ``payload`` under ``key``; returns the entry path, or
+        ``None`` when the store is (or just became) degraded.
 
         The temp file lives in the cache directory itself so the final
         ``os.replace`` is a same-filesystem atomic rename: concurrent
         writers of one key each publish a complete entry and the last
         rename wins — no reader ever sees a partial document.
+
+        A failing write (``ENOSPC``, an unwritable directory) does
+        *not* raise: it flips the store into degraded mode and the
+        caller's request proceeds uncached — losing the cache must
+        never lose the answer.
         """
         path = self._path(key)
+        if self.degraded is not None:
+            return None
         document = {
             "kind": CACHE_KIND,
             "version": CACHE_FORMAT_VERSION,
@@ -160,21 +218,41 @@ class ResultCache:
             "key": key,
             "payload": payload,
         }
-        fd, tmp_path = tempfile.mkstemp(
-            prefix=f".{key[:16]}.", suffix=".tmp", dir=self.cache_dir
-        )
+        spec = faults.decide("cache.write", key=key)
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(document, fh, separators=(",", ":"))
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp_path, path)
-        except BaseException:
+            if spec is not None and spec.mode == "torn":
+                # What a killed non-atomic writer leaves at the final
+                # path: the first half of the document, no rename.
+                data = json.dumps(document, separators=(",", ":"))
+                with open(path, "w", encoding="utf-8") as fh:
+                    fh.write(data[: len(data) // 2])
+                return path
+            if spec is not None and spec.mode == "garbage":
+                with open(path, "wb") as fh:
+                    fh.write(b"\x00not json\xff\xfe" * 4)
+                return path
+            if spec is not None and spec.mode == "enospc":
+                raise OSError(errno.ENOSPC, "no space left on device (injected)")
+            fd, tmp_path = tempfile.mkstemp(
+                prefix=f".{key[:16]}.", suffix=".tmp", dir=self.cache_dir
+            )
             try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(document, fh, separators=(",", ":"))
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            with self._lock:
+                self._put_errors += 1
+            self._degrade(f"cache write failed: {exc}")
+            return None
         self._evict_if_needed()
         return path
 
@@ -187,9 +265,16 @@ class ResultCache:
             return False
 
     def clear(self) -> int:
-        """Remove every entry; returns how many were deleted."""
+        """Remove every entry; returns how many were deleted.
+
+        Quarantined files are evidence, not entries — they survive a
+        ``clear()`` (delete the sidecar directory to drop them)."""
         removed = 0
-        for name in os.listdir(self.cache_dir):
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return removed
+        for name in names:
             if name.endswith(".json"):
                 try:
                     os.unlink(os.path.join(self.cache_dir, name))
@@ -200,17 +285,35 @@ class ResultCache:
 
     # -- bookkeeping --------------------------------------------------------
 
-    def _discard_corrupt(self, path: str, exc: Exception) -> None:
+    def _quarantine_corrupt(self, path: str) -> None:
+        """Move a corrupt entry into the quarantine sidecar (falling
+        back to deletion if even that fails) and count it as a miss."""
+        quarantined = False
+        qdir = os.path.join(self.cache_dir, QUARANTINE_DIR)
         try:
-            os.unlink(path)
+            os.makedirs(qdir, exist_ok=True)
+            os.replace(path, os.path.join(qdir, os.path.basename(path)))
+            quarantined = True
         except OSError:
-            pass
+            # A quarantine that cannot be written must still repair the
+            # store: a corrupt entry left in place would be re-read
+            # (and re-counted) on every probe of its key.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
         with self._lock:
             self._corrupt += 1
             self._misses += 1
+            if quarantined:
+                self._quarantined += 1
 
     def _entries(self):
-        """``(path, size, mtime)`` for every entry currently on disk."""
+        """``(path, size, mtime)`` for every entry currently on disk.
+
+        The quarantine sidecar does not participate: its files are not
+        entries, don't count against ``max_bytes`` and are never
+        evicted."""
         rows = []
         try:
             names = os.listdir(self.cache_dir)
@@ -241,6 +344,13 @@ class ResultCache:
                     break
                 try:
                     os.unlink(path)
+                except FileNotFoundError:
+                    # A concurrent evictor (another server thread, a
+                    # second daemon on the same store) beat us to this
+                    # entry: its bytes are gone either way — count the
+                    # freed space, but the eviction is theirs, not ours.
+                    total -= size
+                    continue
                 except OSError:
                     continue
                 total -= size
@@ -254,6 +364,8 @@ class ResultCache:
             entries = self._entries()
             return {
                 "cache_dir": os.path.abspath(self.cache_dir),
+                "mode": "degraded" if self.degraded is not None else "ok",
+                "degraded_reason": self.degraded,
                 "entries": len(entries),
                 "bytes": sum(size for _, size, _ in entries),
                 "max_bytes": self.max_bytes,
@@ -261,6 +373,8 @@ class ResultCache:
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "corrupt": self._corrupt,
+                "quarantined": self._quarantined,
+                "put_errors": self._put_errors,
             }
 
 
@@ -268,6 +382,7 @@ __all__ = [
     "CACHE_FORMAT_VERSION",
     "CACHE_KIND",
     "DEFAULT_MAX_BYTES",
+    "QUARANTINE_DIR",
     "ResultCache",
     "cache_key",
 ]

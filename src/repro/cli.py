@@ -123,6 +123,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="send the board to a running `repro serve` daemon at URL "
         "instead of routing in-process (same envelope, same exit codes)",
     )
+    route.add_argument(
+        "--remote-timeout", type=float, default=None, metavar="S",
+        help="with --remote: overall deadline budget in seconds across "
+        "all attempts (default: one 300 s socket timeout per attempt)",
+    )
+    route.add_argument(
+        "--remote-retries", type=int, default=None, metavar="N",
+        help="with --remote: transport retries after the first attempt "
+        "(capped exponential backoff + jitter; default: 2). The route "
+        "request is content-addressed, so replays are safe",
+    )
 
     check = sub.add_parser("check", help="DRC-check a board JSON file")
     check.add_argument("board")
@@ -266,6 +277,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "serial routing)",
     )
     serve.add_argument(
+        "--request-deadline", type=float, default=None, metavar="S",
+        help="per-request wall-clock budget for single-answer endpoints; "
+        "an overrunning request answers 504 (default: unbounded)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="S",
+        help="on SIGTERM/Ctrl-C: seconds to wait for in-flight requests "
+        "(including open NDJSON streams) to finish before closing "
+        "(default: %(default)s)",
+    )
+    serve.add_argument(
         "--quiet", action="store_true", help="suppress per-request log lines"
     )
 
@@ -370,17 +392,49 @@ def _cmd_route(args: argparse.Namespace) -> int:
 
 
 def _route_remote(args: argparse.Namespace, board, config) -> int:
-    """Route via a running daemon; same outputs and exit codes as local."""
-    from .io import board_from_dict, run_result_from_dict
-    from .server.client import ServerClient
+    """Route via a running daemon; same outputs and exit codes as local.
 
-    client = ServerClient(args.remote)
-    response = client.route(
-        board,
-        config=config.to_dict(),
-        # The routed geometry only travels back when something needs it.
-        return_board=args.svg is not None,
+    An unreachable daemon (refused, reset, dead mid-retry) is an
+    operational error, not a crash: the typed
+    :class:`~repro.server.client.TransportError` becomes a clean
+    ``error_response`` envelope (with ``--json``) or a one-line stderr
+    message, and exit code 2 — never a traceback.
+    """
+    from .io import board_from_dict, run_result_from_dict
+    from .server.client import DEFAULT_RETRIES, ServerClient, TransportError
+
+    client = ServerClient(
+        args.remote,
+        retries=(
+            args.remote_retries
+            if args.remote_retries is not None
+            else DEFAULT_RETRIES
+        ),
+        deadline=args.remote_timeout,
     )
+    try:
+        response = client.route(
+            board,
+            config=config.to_dict(),
+            # The routed geometry only travels back when something needs it.
+            return_board=args.svg is not None,
+        )
+    except TransportError as exc:
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "kind": "error_response",
+                        "error": {
+                            "type": type(exc).__name__,
+                            "message": str(exc),
+                        },
+                    },
+                    indent=2,
+                )
+            )
+        print(f"error: {args.remote}: {exc}", file=sys.stderr)
+        return 2
     envelope = response.payload
     if envelope.get("kind") == "error_response":
         message = envelope.get("error", {}).get("message", "server error")
@@ -433,8 +487,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from .cache import DEFAULT_MAX_BYTES
-    from .server import make_http_server, serve_forever
+    from .server import make_http_server
 
     server = make_http_server(
         cache_dir=args.cache_dir,
@@ -447,15 +503,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             else DEFAULT_MAX_BYTES
         ),
         quiet=args.quiet,
+        request_deadline=args.request_deadline,
     )
+    # SIGTERM (the deploy/orchestrator stop signal) begins a graceful
+    # drain: stop admitting, finish in-flight requests and open NDJSON
+    # streams, then exit 0.  The handler only *requests* the shutdown —
+    # the drain itself happens in serve_forever's cleanup below, on the
+    # main thread, inside the --drain-timeout budget.
+    signal.signal(
+        signal.SIGTERM, lambda *_: server.request_graceful_shutdown()
+    )
+    cache_note = args.cache_dir
+    if server.app.cache.degraded is not None:
+        cache_note += " [DEGRADED: serving without a cache]"
     # Announced on stdout (and flushed) so wrappers that asked for an
     # ephemeral port (--port 0) can read the real endpoint back.
     print(
         f"repro-serve listening on {server.url} "
-        f"(cache: {args.cache_dir}, workers: {args.workers or 'serial'})",
+        f"(cache: {cache_note}, workers: {args.workers or 'serial'})",
         flush=True,
     )
-    serve_forever(server)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        drained = server.shutdown(drain_timeout=args.drain_timeout)
+        if not drained:
+            print(
+                "warning: drain timeout expired with requests in flight",
+                file=sys.stderr,
+            )
     return 0
 
 

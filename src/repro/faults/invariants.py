@@ -1,0 +1,69 @@
+"""Stable views of run artifacts for cross-run equality assertions.
+
+The chaos suite's strongest invariant is *byte-identical outcomes*: a
+corpus sweep killed with SIGKILL and finished with ``--resume`` must
+produce the same final report as an uninterrupted run.  Reports carry a
+few fields that honestly differ between the two executions without any
+routing outcome differing — wall-clock timings and schedule metadata
+(how many cases happened to be resumed or served from cache).  This
+module defines the canonical *stable* projection: strip exactly those
+keys, keep everything else (statuses, errors, lengths, skews, DRC
+verdicts, gate verdicts), and serialise canonically so equality is a
+byte comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+#: Keys that may differ between two executions of the same computation
+#: without any routing *outcome* differing.  Everything else must match
+#: byte-for-byte for two reports to be "the same run".
+VOLATILE_REPORT_KEYS = frozenset(
+    {
+        # wall-clock
+        "run_s",
+        "wall_s",
+        "run_s_median",
+        "run_s_total",
+        "runtime",
+        "uptime_s",
+        # schedule metadata: resumed/cached counts describe *how* the
+        # sweep executed, not what it computed
+        "resumed",
+        "cached",
+        "cache",
+        "workers",
+        "workers_requested",
+    }
+)
+
+
+def stable_report(obj: Any) -> Any:
+    """``obj`` with every volatile key removed, recursively.
+
+    Works on any JSON-shaped structure (corpus reports, case rows, run
+    result dicts); non-container values pass through unchanged.
+    """
+    if isinstance(obj, dict):
+        return {
+            key: stable_report(value)
+            for key, value in obj.items()
+            if key not in VOLATILE_REPORT_KEYS
+        }
+    if isinstance(obj, list):
+        return [stable_report(item) for item in obj]
+    return obj
+
+
+def stable_report_bytes(report: Any) -> bytes:
+    """Canonical JSON bytes of the stable projection — two executions
+    of the same computation compare equal here or one of them routed
+    something differently."""
+    return json.dumps(
+        stable_report(report), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+__all__ = ["VOLATILE_REPORT_KEYS", "stable_report", "stable_report_bytes"]

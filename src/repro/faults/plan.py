@@ -1,0 +1,201 @@
+"""Fault plans: named, seeded, deterministic injection specs.
+
+A :class:`FaultPlan` is the unit of chaos: a name, a seed and a list of
+:class:`FaultSpec` entries, each binding one *injection site* (a dotted
+name compiled into the production code, e.g. ``stage.match`` or
+``cache.write``) to a failure *mode* (``raise``, ``kill``, ``torn``,
+``http_503``, ...).  Plans are plain JSON documents, so one plan crosses
+process boundaries unchanged — the chaos suite serialises a plan into
+the :data:`~repro.faults.ENV_VAR` environment variable and the very same
+faults fire inside executor worker processes and ``repro serve``
+daemons.
+
+Determinism is the design constraint that separates this from ad-hoc
+monkeypatching: every probabilistic trigger draws from a per-spec
+``random.Random`` seeded by ``(plan seed, plan name, site, mode, spec
+index)``, so the same plan against the same call sequence fires the
+same faults, byte-for-byte, in every run.  ``max_fires`` and ``skip``
+bound and offset the firing window; ``match`` restricts a spec to
+context values (board names, request paths) containing a substring.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+class FaultInjected(RuntimeError):
+    """An injected fault fired at ``site`` under ``plan`` — the generic
+    ``raise`` mode, and the marker the chaos suite asserts on (a real
+    defect never raises this type)."""
+
+    def __init__(self, site: str, plan: str = "") -> None:
+        super().__init__(f"injected fault at {site}" + (f" (plan {plan})" if plan else ""))
+        self.site = site
+        self.plan = plan
+
+
+@dataclass
+class FaultSpec:
+    """One injection rule: where, what, and when it triggers.
+
+    ``site``
+        The dotted injection-point name this spec arms (exact match).
+    ``mode``
+        The failure to produce.  Generic modes (``raise``, ``slow``,
+        ``hang``, ``kill``) are performed by :func:`repro.faults.inject`
+        itself; site-specific modes (``torn``, ``garbage``, ``enospc``,
+        ``http_503``, ``stall``, ``disconnect``, ``refuse``) are
+        interpreted by the host code at that site.
+    ``probability``
+        Trigger chance per eligible call, drawn from the spec's seeded
+        RNG.  1.0 (the default) never draws — an always-on spec stays
+        deterministic regardless of how often other specs draw.
+    ``skip``
+        Eligible triggers to let pass before the first fire (e.g. kill
+        the worker on the *third* board).
+    ``max_fires``
+        Cap on total fires; ``None`` means unbounded.
+    ``match``
+        Substring that must appear in at least one context value
+        (``inject(site, board=...)``) for the spec to be eligible.
+    ``delay_s``
+        Sleep length for ``slow``/``hang``/``stall`` modes.
+    """
+
+    site: str
+    mode: str
+    probability: float = 1.0
+    skip: int = 0
+    max_fires: Optional[int] = None
+    match: Optional[str] = None
+    delay_s: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"site": self.site, "mode": self.mode}
+        if self.probability != 1.0:
+            doc["probability"] = self.probability
+        if self.skip:
+            doc["skip"] = self.skip
+        if self.max_fires is not None:
+            doc["max_fires"] = self.max_fires
+        if self.match is not None:
+            doc["match"] = self.match
+        if self.delay_s is not None:
+            doc["delay_s"] = self.delay_s
+        return doc
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        known = {"site", "mode", "probability", "skip", "max_fires", "match", "delay_s"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown FaultSpec fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+class FaultPlan:
+    """A named, seeded set of fault specs plus their runtime fire state.
+
+    The *document* (name, seed, specs) is immutable and serialisable;
+    the *state* (per-spec RNGs and fire counters) is per-process and
+    rebuilt from the document, which is what makes a plan deterministic
+    across processes: every process that loads the same JSON replays the
+    same decisions for the same call sequence.
+    """
+
+    def __init__(
+        self, name: str, seed: int = 0, specs: Sequence[FaultSpec] = ()
+    ) -> None:
+        self.name = name
+        self.seed = seed
+        self.specs: List[FaultSpec] = list(specs)
+        self._rngs: List[random.Random] = [
+            random.Random(self._spec_seed(i, spec))
+            for i, spec in enumerate(self.specs)
+        ]
+        #: Fires per spec index (observable via :meth:`fire_counts`).
+        self._fires: List[int] = [0] * len(self.specs)
+        #: Eligible triggers seen per spec index (drives ``skip``).
+        self._seen: List[int] = [0] * len(self.specs)
+
+    def _spec_seed(self, index: int, spec: FaultSpec) -> int:
+        material = f"{self.seed}\x00{self.name}\x00{spec.site}\x00{spec.mode}\x00{index}"
+        return int.from_bytes(
+            hashlib.sha256(material.encode("utf-8")).digest()[:8], "big"
+        )
+
+    # -- the decision ---------------------------------------------------------
+
+    def decide(self, site: str, **context: Any) -> Optional[FaultSpec]:
+        """The spec that fires at ``site`` for this call, or ``None``.
+
+        At most one spec fires per call (the first armed one in plan
+        order).  A spec whose ``probability`` draw fails still consumed
+        that draw — the decision sequence is a pure function of the
+        plan document and the eligible-call sequence.
+        """
+        for index, spec in enumerate(self.specs):
+            if spec.site != site:
+                continue
+            if spec.match is not None and not any(
+                spec.match in str(value) for value in context.values()
+            ):
+                continue
+            if spec.max_fires is not None and self._fires[index] >= spec.max_fires:
+                continue
+            if spec.probability < 1.0:
+                if self._rngs[index].random() >= spec.probability:
+                    continue
+            self._seen[index] += 1
+            if self._seen[index] <= spec.skip:
+                continue
+            self._fires[index] += 1
+            return spec
+        return None
+
+    def fire_counts(self) -> Dict[str, int]:
+        """Total fires per ``site:mode`` (chaos-suite bookkeeping)."""
+        counts: Dict[str, int] = {}
+        for spec, fires in zip(self.specs, self._fires):
+            label = f"{spec.site}:{spec.mode}"
+            counts[label] = counts.get(label, 0) + fires
+        return counts
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "fault_plan",
+            "name": self.name,
+            "seed": self.seed,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        if data.get("kind") != "fault_plan":
+            raise ValueError(f"not a fault plan (kind: {data.get('kind')!r})")
+        return cls(
+            name=data.get("name", ""),
+            seed=int(data.get("seed", 0)),
+            specs=[FaultSpec.from_dict(s) for s in data.get("specs", ())],
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON — byte-deterministic given the document."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(name={self.name!r}, seed={self.seed}, "
+            f"specs={len(self.specs)})"
+        )

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import copy
 import json
+import os
+import tempfile
 from typing import Any, Dict, List, Optional, Tuple
 
 from ._version import __version__
@@ -35,6 +37,33 @@ from .model import (
 FORMAT_VERSION = 1
 RESULT_FORMAT_VERSION = 1
 CORPUS_FORMAT_VERSION = 1
+
+
+def _atomic_write_text(path: str, text: str) -> str:
+    """Write ``text`` to ``path`` via same-directory temp + rename.
+
+    Every artifact writer goes through here so a process killed
+    mid-write (SIGKILL during a corpus sweep, an OOM'd worker) leaves
+    either the complete document or nothing — never a torn file for
+    ``corpus run --resume`` or a result consumer to trip over.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=f".{os.path.basename(path)}.", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 # -- encoding ---------------------------------------------------------------------
@@ -163,10 +192,8 @@ def board_canonical_json(board: Board) -> str:
 
 
 def save_board(board: Board, path: str) -> str:
-    """Write the board to ``path``; returns the path."""
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(board_to_json(board))
-    return path
+    """Write the board to ``path`` (atomically); returns the path."""
+    return _atomic_write_text(path, board_to_json(board))
 
 
 # -- decoding ---------------------------------------------------------------------
@@ -447,10 +474,8 @@ def result_from_json(text: str) -> RunResult:
 
 
 def save_result(result: RunResult, path: str) -> str:
-    """Write the run artifact to ``path``; returns the path."""
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(result_to_json(result))
-    return path
+    """Write the run artifact to ``path`` (atomically); returns the path."""
+    return _atomic_write_text(path, result_to_json(result))
 
 
 def load_result(path: str) -> RunResult:
@@ -526,11 +551,12 @@ def corpus_case_from_dict(
 
 
 def save_corpus_case(case: Dict[str, Any], result: RunResult, path: str) -> str:
-    """Write one corpus case document to ``path``; returns the path."""
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(corpus_case_to_dict(case, result), fh, indent=2)
-        fh.write("\n")
-    return path
+    """Write one corpus case document to ``path`` (atomically — these
+    are exactly the files a killed sweep's ``--resume`` reads back);
+    returns the path."""
+    return _atomic_write_text(
+        path, json.dumps(corpus_case_to_dict(case, result), indent=2) + "\n"
+    )
 
 
 def load_corpus_case(path: str) -> Tuple[Dict[str, Any], RunResult]:
@@ -540,11 +566,11 @@ def load_corpus_case(path: str) -> Tuple[Dict[str, Any], RunResult]:
 
 
 def save_corpus_report(report: Dict[str, Any], path: str) -> str:
-    """Write a corpus aggregate report to ``path``; returns the path."""
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(corpus_report_to_dict(report), fh, indent=2)
-        fh.write("\n")
-    return path
+    """Write a corpus aggregate report to ``path`` (atomically);
+    returns the path."""
+    return _atomic_write_text(
+        path, json.dumps(corpus_report_to_dict(report), indent=2) + "\n"
+    )
 
 
 def load_corpus_report(path: str) -> Dict[str, Any]:

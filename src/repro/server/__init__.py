@@ -40,6 +40,7 @@ from .app import (
     ReproHTTPServer,
     RequestError,
     RouterApp,
+    ShuttingDown,
     make_http_server,
     serve_forever,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "RequestError",
     "RouterApp",
     "ReproHTTPServer",
+    "ShuttingDown",
     "make_http_server",
     "serve_forever",
 ]

@@ -23,6 +23,7 @@ import threading
 import time
 from typing import Any, Dict, Iterator, Optional, Tuple
 
+from .. import faults
 from .._version import __version__
 from ..api import RoutingSession, SessionConfig
 from ..api.executor import run_batch
@@ -53,6 +54,11 @@ def _error_envelope(exc: BaseException) -> Dict[str, Any]:
     }
 
 
+class ShuttingDown(RuntimeError):
+    """The daemon is draining: new requests are refused with 503 while
+    in-flight ones run to completion (the SIGTERM contract)."""
+
+
 class RouterApp:
     """One daemon's worth of state: the cache, the knobs, the counters."""
 
@@ -61,20 +67,117 @@ class RouterApp:
         cache_dir: str,
         workers: Optional[int] = None,
         cache_max_bytes: int = DEFAULT_MAX_BYTES,
+        request_deadline: Optional[float] = None,
     ) -> None:
         self.cache = ResultCache(cache_dir, max_bytes=cache_max_bytes)
         #: Default worker-process count for batch requests (a request
         #: may override it downward; never upward past this cap).
         self.workers = workers
+        #: Per-request wall-clock budget for single-answer endpoints
+        #: (``/route`` one-board, ``/check``); ``None`` = unbounded.
+        self.request_deadline = request_deadline
         self._started = time.time()
         self._lock = threading.Lock()
         self._requests: Dict[str, int] = {}
+        #: Graceful-shutdown state: once draining, new requests get 503
+        #: while the in-flight count runs down to zero.
+        self._draining = False
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
 
     # -- bookkeeping --------------------------------------------------------
 
     def _count(self, endpoint: str) -> None:
         with self._lock:
             self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+
+    # -- graceful shutdown ---------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def enter_request(self) -> None:
+        """Admit one request into the in-flight set (503 while draining).
+
+        The transport calls this before dispatching and *must* pair it
+        with :meth:`exit_request` in a ``finally`` — the drain barrier
+        is exactly this counter reaching zero.
+        """
+        with self._inflight_cond:
+            if self._draining:
+                raise ShuttingDown("server is draining; retry elsewhere")
+            self._inflight += 1
+
+    def exit_request(self) -> None:
+        with self._inflight_cond:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._inflight_cond.notify_all()
+
+    def begin_drain(self) -> None:
+        """Stop admitting requests; in-flight ones keep running."""
+        with self._inflight_cond:
+            self._draining = True
+
+    def drain(self, timeout: Optional[float] = 30.0) -> bool:
+        """Block until every in-flight request has finished (or
+        ``timeout`` elapsed); returns whether the set emptied.
+
+        Open NDJSON streams count as in-flight until their final event
+        is written, so a drained server has delivered every byte it
+        promised.
+        """
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._inflight_cond:
+            while self._inflight > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._inflight_cond.wait(remaining)
+        return True
+
+    # -- per-request deadline ------------------------------------------------
+
+    def _with_deadline(self, fn):
+        """Run ``fn`` under :attr:`request_deadline`; 504 on overrun.
+
+        The work runs in a helper thread so the transport can answer
+        within the budget; an overrunning computation is left to finish
+        (and populate the cache) in the background — the *response* has
+        a deadline, the cache entry is still worth keeping.
+        """
+        if self.request_deadline is None:
+            return fn()
+        box: Dict[str, Any] = {}
+
+        def call() -> None:
+            try:
+                box["value"] = fn()
+            except BaseException as exc:  # re-raised on the request thread
+                box["error"] = exc
+
+        thread = threading.Thread(target=call, daemon=True)
+        thread.start()
+        thread.join(self.request_deadline)
+        if thread.is_alive():
+            return 504, {
+                "kind": "error_response",
+                "error": {
+                    "type": "DeadlineExceeded",
+                    "message": (
+                        f"request exceeded the server's "
+                        f"{self.request_deadline} s deadline"
+                    ),
+                },
+            }
+        if "error" in box:
+            raise box["error"]
+        return box["value"]
 
     # -- config resolution --------------------------------------------------
 
@@ -161,11 +264,16 @@ class RouterApp:
     # -- endpoints ----------------------------------------------------------
 
     def healthz(self) -> Tuple[int, Dict[str, Any]]:
+        """Liveness plus the degradation flags operators alert on: a
+        daemon with an unwritable cache keeps serving (``ok`` stays
+        true) but says ``cache="degraded"`` instead of dying."""
         self._count("healthz")
         return 200, {
             "kind": "healthz_response",
             "ok": True,
             "version": __version__,
+            "cache": "degraded" if self.cache.degraded is not None else "ok",
+            "draining": self._draining,
         }
 
     def stats(self) -> Tuple[int, Dict[str, Any]]:
@@ -216,9 +324,13 @@ class RouterApp:
             board_dict = payload.get("board")
             if board_dict is None:
                 raise RequestError("missing 'board' (send 'boards' for a batch)")
-            key, cache_state, result_dict, routed = self._route_one(
-                board_dict, config, config.fingerprint()
+            outcome = self._with_deadline(
+                lambda: self._route_one(board_dict, config, config.fingerprint())
             )
+            if isinstance(outcome, tuple) and len(outcome) == 2:
+                # The deadline helper already built the 504 answer.
+                return outcome
+            key, cache_state, result_dict, routed = outcome
         except RequestError as exc:
             return 400, _error_envelope(exc)
         envelope = self._route_envelope(
@@ -515,10 +627,21 @@ def _make_handler_class(app: RouterApp, quiet: bool):
             self.end_headers()
             self.close_connection = True
             for event in events:
-                self.wfile.write(
+                data = (
                     json.dumps(event, separators=(",", ":")).encode("utf-8")
                     + b"\n"
                 )
+                spec = faults.decide("transport.stream", path=self.path)
+                if spec is not None and spec.mode == "disconnect":
+                    # Mid-body abort: write *half* an event, then drop
+                    # the TCP connection — exactly what a crashed proxy
+                    # leaves behind.  The truncated line (no newline
+                    # before EOF) is what the client detects.
+                    self.wfile.write(data[: max(1, len(data) // 2)])
+                    self.wfile.flush()
+                    self.connection.close()
+                    return
+                self.wfile.write(data)
                 self.wfile.flush()
 
         def _read_payload(self) -> Dict[str, Any]:
@@ -536,7 +659,48 @@ def _make_handler_class(app: RouterApp, quiet: bool):
 
         # -- dispatch -------------------------------------------------------
 
+        def _inject_transport(self) -> bool:
+            """Server-side transport faults; True = request consumed.
+
+            ``http_503`` answers with the retryable-overload envelope
+            (what the client's backoff is for); ``stall`` sleeps
+            ``delay_s`` then serves normally (tripping client
+            timeouts); ``disconnect`` drops the TCP connection before
+            any response byte.
+            """
+            spec = faults.decide("transport.response", path=self.path)
+            if spec is None:
+                return False
+            if spec.mode == "http_503":
+                self._send_json(
+                    503,
+                    {
+                        "kind": "error_response",
+                        "error": {
+                            "type": "ServiceUnavailable",
+                            "message": "injected overload",
+                        },
+                    },
+                )
+                return True
+            if spec.mode == "stall":
+                time.sleep(spec.delay_s if spec.delay_s is not None else 1.0)
+                return False
+            if spec.mode == "disconnect":
+                self.connection.close()
+                return True
+            return False
+
         def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+            try:
+                if self._inject_transport():
+                    return
+                app.enter_request()
+            except ShuttingDown as exc:
+                self._send_json(503, _error_envelope(exc))
+                return
+            except BrokenPipeError:
+                return
             try:
                 if self.path == "/healthz":
                     self._send_json(*app.healthz())
@@ -556,8 +720,19 @@ def _make_handler_class(app: RouterApp, quiet: bool):
                 pass
             except Exception as exc:  # a handler bug must not kill the thread
                 self._send_json(500, _error_envelope(exc))
+            finally:
+                app.exit_request()
 
         def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
+            try:
+                if self._inject_transport():
+                    return
+                app.enter_request()
+            except ShuttingDown as exc:
+                self._send_json(503, _error_envelope(exc))
+                return
+            except BrokenPipeError:
+                return
             try:
                 payload = self._read_payload()
                 if self.path == "/route":
@@ -585,6 +760,8 @@ def _make_handler_class(app: RouterApp, quiet: bool):
                     self._send_json(500, _error_envelope(exc))
                 except Exception:
                     pass
+            finally:
+                app.exit_request()
 
         def log_message(self, format: str, *args: Any) -> None:
             if not quiet:
@@ -638,12 +815,29 @@ class ReproHTTPServer:
         self._thread.start()
         return self
 
-    def shutdown(self) -> None:
+    def request_graceful_shutdown(self) -> None:
+        """Begin a graceful shutdown without blocking (signal-handler
+        safe): stop admitting requests now; the accept loop is stopped
+        from a helper thread (``shutdown()`` blocks until the loop
+        exits, which must not happen on the thread running it)."""
+        self.app.begin_drain()
+        threading.Thread(target=self._server.shutdown, daemon=True).start()
+
+    def shutdown(self, drain_timeout: Optional[float] = 30.0) -> bool:
+        """Stop accepting, drain in-flight requests, close the socket.
+
+        Returns whether the drain emptied within ``drain_timeout`` —
+        open NDJSON streams finish their final event before this
+        returns (the SIGTERM contract ``repro serve`` relies on).
+        """
+        self.app.begin_drain()
         self._server.shutdown()
+        drained = self.app.drain(drain_timeout)
         self._server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        return drained
 
 
 def make_http_server(
@@ -653,16 +847,26 @@ def make_http_server(
     workers: Optional[int] = None,
     cache_max_bytes: int = DEFAULT_MAX_BYTES,
     quiet: bool = True,
+    request_deadline: Optional[float] = None,
 ) -> ReproHTTPServer:
     """A bound daemon fronting a fresh :class:`RouterApp`."""
     app = RouterApp(
-        cache_dir, workers=workers, cache_max_bytes=cache_max_bytes
+        cache_dir,
+        workers=workers,
+        cache_max_bytes=cache_max_bytes,
+        request_deadline=request_deadline,
     )
     return ReproHTTPServer(app, host=host, port=port, quiet=quiet)
 
 
 def serve_forever(server: ReproHTTPServer) -> None:
-    """Blocking serve loop with a clean Ctrl-C shutdown (the CLI path)."""
+    """Blocking serve loop with a clean shutdown (the CLI path).
+
+    Ctrl-C and SIGTERM (when the CLI installed its handler) both land
+    here: the loop exits, then ``shutdown()`` drains in-flight requests
+    before the process goes away — a deployed daemon behind a rolling
+    restart finishes the work it already accepted.
+    """
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -29,6 +29,7 @@ class TestRunPerfQuick:
             "extension",
             "session",
             "server",
+            "server_faults",
         }
         assert payload["machine"]["cpu_count"] >= 1
         assert payload["total_s"] > 0
@@ -57,6 +58,15 @@ class TestRunPerfQuick:
         assert all(r["identical"] for r in rows)
         assert all(r["cold_status"] == "ok" for r in rows)
         assert all(r["speedup"] > 3.0 for r in rows)
+
+    def test_server_faults_phase(self, payload):
+        rows = payload["phases"]["server_faults"]
+        assert rows and all(r["all_ok"] for r in rows)
+        # Every injected 503 was absorbed by a retry (the row would
+        # have failed its assert otherwise), and the retry count covers
+        # the fired faults.
+        assert all(r["retries"] >= r["faults_fired"] for r in rows)
+        assert all(r["p50_ms"] > 0 and r["p99_ms"] >= r["p50_ms"] for r in rows)
 
     def test_no_write_when_out_is_none(self, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)

@@ -1,0 +1,43 @@
+"""Chaos-suite fixtures: clean fault state per test, small boards.
+
+Every test runs with a guaranteed-clean injection state: no in-process
+plan armed, no :data:`repro.faults.ENV_VAR` leaking in from the outer
+environment.  Boards mirror the small single-group builders the server
+tests use — fast to route, deterministic verdicts.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro.faults as faults
+from repro.geometry import Point, Polyline
+from repro.model import Board, DesignRules, MatchGroup, Trace
+
+RULES = DesignRules(dgap=4.0, dobs=2.0, dprotect=2.0)
+
+#: The fixed seeds every determinism-sensitive chaos test replays (the
+#: CI chaos-smoke job advertises exactly these).
+CHAOS_SEEDS = (0, 7, 1234)
+
+
+def small_board(name: str = "b0", target: float = 115.0) -> Board:
+    """A one-group board that routes to ``ok`` in well under a second."""
+    board = Board.with_rect_outline(0, 0, 100, 45, RULES)
+    board.name = name
+    member = board.add_trace(
+        Trace("s0", Polyline([Point(5, 15), Point(95, 15)]), width=1.0)
+    )
+    board.add_group(MatchGroup("bus", members=[member], target_length=target))
+    return board
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state(monkeypatch):
+    """No plan armed before the test; none left armed after it."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    monkeypatch.setattr(faults, "_active", None)
+    monkeypatch.setattr(faults, "_env_cache", (None, None))
+    yield

@@ -1,0 +1,76 @@
+"""``route --remote`` resilience: a dead daemon is an operational
+error with a clean envelope and exit code 2 — never a traceback."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.io import save_board
+
+from conftest import small_board  # same-directory module
+
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src")
+)
+
+
+def run_cli(*args, timeout=120):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.fixture
+def board_file(tmp_path) -> str:
+    path = str(tmp_path / "board.json")
+    save_board(small_board("cli-remote"), path)
+    return path
+
+
+class TestRemoteRouteFailureModes:
+    def test_connection_refused_is_exit_2_with_envelope(self, board_file):
+        proc = run_cli(
+            "route",
+            board_file,
+            "--remote",
+            "http://127.0.0.1:9",  # nothing listens on the discard port
+            "--remote-retries",
+            "1",
+            "--remote-timeout",
+            "5",
+            "--json",
+        )
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr
+        assert "error:" in proc.stderr
+        envelope = json.loads(proc.stdout)
+        assert envelope["kind"] == "error_response"
+        assert envelope["error"]["type"] == "ServerUnavailable"
+        assert "127.0.0.1:9" in envelope["error"]["message"]
+
+    def test_connection_refused_without_json_is_one_stderr_line(
+        self, board_file
+    ):
+        proc = run_cli(
+            "route",
+            board_file,
+            "--remote",
+            "http://127.0.0.1:9",
+            "--remote-retries",
+            "0",
+            "--remote-timeout",
+            "5",
+        )
+        assert proc.returncode == 2
+        assert proc.stdout == ""
+        assert proc.stderr.startswith("error: http://127.0.0.1:9")
+        assert "Traceback" not in proc.stderr

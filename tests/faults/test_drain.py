@@ -1,0 +1,116 @@
+"""SIGTERM graceful drain, end to end: a real ``repro serve`` process,
+a request in flight, the deploy stop signal — and the contract that the
+in-flight request finishes, the client reads a complete body, and the
+daemon exits 0.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.faults import ENV_VAR, FaultPlan, FaultSpec
+from repro.io import board_to_dict
+
+from conftest import small_board  # same-directory module
+
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src")
+)
+
+
+def spawn_serve(tmp_path, extra_env=None, *extra_args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(extra_env or {})
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    # The daemon announces its ephemeral endpoint on the first line.
+    line = process.stdout.readline()
+    assert "listening on" in line, f"unexpected serve banner: {line!r}"
+    url = line.split("listening on ", 1)[1].split()[0]
+    return process, url
+
+
+@pytest.mark.slow
+class TestSigtermDrain:
+    def test_inflight_route_finishes_and_exit_is_zero(self, tmp_path):
+        # Slow the pipeline down (deterministically, via the env-armed
+        # fault plan) so the POST is still in flight when SIGTERM lands.
+        plan = FaultPlan(
+            "slow-route",
+            specs=[FaultSpec(site="stage.match", mode="slow", delay_s=1.5)],
+        )
+        process, url = spawn_serve(tmp_path, {ENV_VAR: plan.to_json()})
+        outcome = {}
+
+        def route_one():
+            body = json.dumps(
+                {"board": board_to_dict(small_board("inflight")), "preset": "fast"}
+            ).encode()
+            request = urllib.request.Request(
+                url + "/route",
+                data=body,
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=30) as resp:
+                    outcome["status"] = resp.status
+                    outcome["payload"] = json.loads(resp.read())
+            except Exception as exc:  # surfaced by the main thread
+                outcome["error"] = exc
+
+        try:
+            thread = threading.Thread(target=route_one)
+            thread.start()
+            time.sleep(0.6)  # the request is inside its 1.5 s slow stage
+            process.send_signal(signal.SIGTERM)
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+            returncode = process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+        assert "error" not in outcome, f"in-flight request died: {outcome}"
+        # The complete body arrived: a full envelope with the verdict.
+        assert outcome["status"] == 200
+        assert outcome["payload"]["kind"] == "route_response"
+        assert outcome["payload"]["status"] == "ok"
+        assert returncode == 0  # drained exit, not a crash
+
+    def test_idle_server_exits_zero_promptly(self, tmp_path):
+        process, url = spawn_serve(tmp_path)
+        try:
+            with urllib.request.urlopen(url + "/healthz", timeout=10) as resp:
+                assert resp.status == 200
+            process.send_signal(signal.SIGTERM)
+            returncode = process.wait(timeout=15)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+        assert returncode == 0

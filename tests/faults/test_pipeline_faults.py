@@ -1,0 +1,146 @@
+"""Injected faults against the session pipeline and batch executor.
+
+The invariants under test are PR 5's, now provable on demand: every
+board yields exactly one result whatever its pipeline does, a killed
+worker process crashes only the board it was routing, and injected
+crashes are attributed through the same error-record machinery as real
+ones.
+"""
+
+import pytest
+
+import repro.faults as faults
+from repro.api import RoutingSession
+from repro.faults import FaultInjected, FaultPlan, FaultSpec, activate
+
+from conftest import CHAOS_SEEDS, small_board  # same-directory module
+
+
+class TestStageFaults:
+    def test_stage_raise_propagates_without_capture(self):
+        plan = FaultPlan("p", specs=[FaultSpec(site="stage.match", mode="raise")])
+        with activate(plan):
+            with pytest.raises(FaultInjected):
+                RoutingSession(small_board(), config="fast").run()
+
+    def test_stage_raise_is_captured_like_a_real_crash(self):
+        plan = FaultPlan("p", specs=[FaultSpec(site="stage.match", mode="raise")])
+        with activate(plan):
+            result = RoutingSession(small_board(), config="fast").run(
+                capture_errors=True
+            )
+        assert result.status == "crashed"
+        assert result.error["type"] == "FaultInjected"
+        assert result.error["stage"] == "match"
+        # The stages before the injection point kept their records.
+        assert [record.name for record in result.stages][-1] == "match"
+
+    def test_stage_slow_changes_timing_not_outcome(self):
+        plan = FaultPlan(
+            "p",
+            specs=[
+                FaultSpec(site="stage.match", mode="slow", delay_s=0.05)
+            ],
+        )
+        clean = RoutingSession(small_board(), config="fast").run()
+        with activate(plan):
+            slowed = RoutingSession(small_board(), config="fast").run()
+        assert slowed.status == clean.status == "ok"
+        match = next(r for r in slowed.stages if r.name == "match")
+        assert match.runtime >= 0.05
+
+    def test_no_plan_costs_nothing_and_changes_nothing(self):
+        result = RoutingSession(small_board(), config="fast").run()
+        assert result.status == "ok"
+
+
+class TestBatchIsolation:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_serial_batch_survives_matched_crash(self, seed):
+        """One injected stage crash ⇒ that board crashed, the rest ok —
+        and which board is hit is pinned by ``match``, not chance."""
+        boards = [small_board(f"board-{i}") for i in range(4)]
+        plan = FaultPlan(
+            "one-victim",
+            seed=seed,
+            specs=[
+                FaultSpec(site="stage.match", mode="raise", match="board-2")
+            ],
+        )
+        with activate(plan):
+            results = RoutingSession.run_many(boards, config="fast")
+        assert len(results) == len(boards)
+        statuses = {r.board: r.status for r in results}
+        assert statuses["board-2"] == "crashed"
+        assert all(
+            status == "ok"
+            for name, status in statuses.items()
+            if name != "board-2"
+        )
+        assert results[2].error["type"] == "FaultInjected"
+
+    def test_worker_kill_crashes_only_its_board(self):
+        """``kill`` hard-exits the worker process mid-board (SIGKILL
+        semantics: no cleanup, no exception) — the executor rebuilds the
+        pool, attributes the death to the one board in flight, and every
+        other board still routes ok.  The plan crosses into the worker
+        processes via the environment."""
+        boards = [small_board(f"board-{i}") for i in range(4)]
+        plan = FaultPlan(
+            "assassin",
+            specs=[
+                FaultSpec(site="executor.worker", mode="kill", match="board-1")
+            ],
+        )
+        with activate(plan, env=True):
+            results = RoutingSession.run_many(boards, config="fast", workers=2)
+        assert len(results) == len(boards)
+        statuses = {r.board: r.status for r in results}
+        assert statuses["board-1"] == "crashed"
+        assert all(
+            status == "ok"
+            for name, status in statuses.items()
+            if name != "board-1"
+        )
+
+    def test_worker_raise_is_captured_in_worker(self):
+        boards = [small_board(f"board-{i}") for i in range(3)]
+        plan = FaultPlan(
+            "p",
+            specs=[
+                FaultSpec(site="executor.worker", mode="raise", match="board-0")
+            ],
+        )
+        with activate(plan, env=True):
+            results = RoutingSession.run_many(boards, config="fast", workers=2)
+        assert results[0].status == "crashed"
+        assert results[0].error["type"] == "FaultInjected"
+        assert [r.status for r in results[1:]] == ["ok", "ok"]
+
+    def test_worker_hang_hits_the_timeout_path(self):
+        """A hung worker burns its per-board budget, becomes a crashed
+        row with the timeout recorded, and does not stall the batch."""
+        boards = [small_board(f"board-{i}") for i in range(3)]
+        plan = FaultPlan(
+            "tarpit",
+            specs=[
+                FaultSpec(
+                    site="executor.worker",
+                    mode="hang",
+                    match="board-2",
+                    delay_s=60.0,
+                )
+            ],
+        )
+        with activate(plan, env=True):
+            results = RoutingSession.run_many(
+                boards, config="fast", workers=2, timeout=3.0
+            )
+        statuses = {r.board: r.status for r in results}
+        assert statuses["board-2"] == "crashed"
+        assert "timeout" in (results[2].error["message"] or "").lower()
+        assert all(
+            status == "ok"
+            for name, status in statuses.items()
+            if name != "board-2"
+        )

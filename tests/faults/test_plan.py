@@ -1,0 +1,146 @@
+"""FaultPlan semantics: determinism by seed, gating, serialisation."""
+
+import os
+
+import pytest
+
+import repro.faults as faults
+from repro.faults import ENV_VAR, FaultInjected, FaultPlan, FaultSpec, activate
+
+from conftest import CHAOS_SEEDS  # same-directory module
+
+
+def probe_sequence(plan: FaultPlan, calls: int = 40) -> list:
+    """The fire/no-fire decision sequence for ``calls`` probes of one
+    site — the thing that must be identical run-to-run."""
+    return [plan.decide("stage.match", board=f"b{i}") is not None for i in range(calls)]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_same_document_same_decisions(self, seed):
+        spec = FaultSpec(site="stage.match", mode="raise", probability=0.3)
+        first = probe_sequence(FaultPlan("p", seed=seed, specs=[spec]))
+        second = probe_sequence(FaultPlan("p", seed=seed, specs=[spec]))
+        assert first == second
+        assert any(first) and not all(first)  # 0.3 actually gates
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_json_round_trip_replays_identically(self, seed):
+        plan = FaultPlan(
+            "p",
+            seed=seed,
+            specs=[
+                FaultSpec(site="stage.match", mode="raise", probability=0.4),
+                FaultSpec(site="cache.write", mode="torn", probability=0.5),
+            ],
+        )
+        clone = FaultPlan.from_json(plan.to_json())
+        assert probe_sequence(plan) == probe_sequence(clone)
+        assert plan.to_json() == clone.to_json()  # canonical both ways
+
+    def test_different_seeds_differ(self):
+        spec = FaultSpec(site="stage.match", mode="raise", probability=0.5)
+        sequences = {
+            tuple(probe_sequence(FaultPlan("p", seed=seed, specs=[spec])))
+            for seed in range(8)
+        }
+        assert len(sequences) > 1
+
+    def test_specs_draw_independently(self):
+        """Adding a second spec must not perturb the first one's
+        sequence — each spec owns its RNG."""
+        a = FaultSpec(site="stage.match", mode="raise", probability=0.3)
+        b = FaultSpec(site="stage.drc", mode="raise", probability=0.7)
+        alone = probe_sequence(FaultPlan("p", seed=3, specs=[a]))
+        paired_plan = FaultPlan("p", seed=3, specs=[a, b])
+        paired = []
+        for i in range(40):
+            paired.append(paired_plan.decide("stage.match", board=f"b{i}") is not None)
+            paired_plan.decide("stage.drc", board=f"b{i}")  # interleaved draws
+        assert alone == paired
+
+
+class TestGating:
+    def test_always_on_fires_every_call(self):
+        plan = FaultPlan("p", specs=[FaultSpec(site="s", mode="raise")])
+        assert all(plan.decide("s") is not None for _ in range(5))
+
+    def test_skip_offsets_first_fire(self):
+        plan = FaultPlan(
+            "p", specs=[FaultSpec(site="s", mode="raise", skip=2)]
+        )
+        assert [plan.decide("s") is not None for _ in range(4)] == [
+            False,
+            False,
+            True,
+            True,
+        ]
+
+    def test_max_fires_caps(self):
+        plan = FaultPlan(
+            "p", specs=[FaultSpec(site="s", mode="raise", max_fires=2)]
+        )
+        assert [plan.decide("s") is not None for _ in range(4)] == [
+            True,
+            True,
+            False,
+            False,
+        ]
+        assert plan.fire_counts() == {"s:raise": 2}
+
+    def test_match_restricts_to_context_substring(self):
+        plan = FaultPlan(
+            "p", specs=[FaultSpec(site="s", mode="raise", match="victim")]
+        )
+        assert plan.decide("s", board="innocent") is None
+        assert plan.decide("s", board="the-victim-board") is not None
+
+    def test_wrong_site_never_fires(self):
+        plan = FaultPlan("p", specs=[FaultSpec(site="s", mode="raise")])
+        assert plan.decide("other") is None
+
+    def test_unknown_spec_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown FaultSpec"):
+            FaultSpec.from_dict({"site": "s", "mode": "raise", "typo": 1})
+
+    def test_non_plan_document_rejected(self):
+        with pytest.raises(ValueError, match="not a fault plan"):
+            FaultPlan.from_dict({"kind": "route_response"})
+
+
+class TestActivation:
+    def test_no_plan_means_no_spec(self):
+        assert faults.decide("stage.match") is None
+
+    def test_activate_scopes_and_restores(self):
+        plan = FaultPlan("p", specs=[FaultSpec(site="s", mode="raise")])
+        with activate(plan):
+            assert faults.active_plan() is plan
+            with pytest.raises(FaultInjected) as info:
+                faults.inject("s")
+            assert info.value.site == "s" and info.value.plan == "p"
+        assert faults.active_plan() is None
+
+    def test_env_activation_and_rearming(self, monkeypatch):
+        plan = FaultPlan("via-env", specs=[FaultSpec(site="s", mode="raise")])
+        monkeypatch.setenv(ENV_VAR, plan.to_json())
+        assert faults.active_plan().name == "via-env"
+        # Re-arming with a different document must reload, not serve
+        # the cached parse of the old value.
+        other = FaultPlan("rearmed", specs=[])
+        monkeypatch.setenv(ENV_VAR, other.to_json())
+        assert faults.active_plan().name == "rearmed"
+
+    def test_env_at_file_reference(self, tmp_path, monkeypatch):
+        plan = FaultPlan("from-file", specs=[FaultSpec(site="s", mode="raise")])
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        monkeypatch.setenv(ENV_VAR, f"@{path}")
+        assert faults.active_plan().name == "from-file"
+
+    def test_activate_env_exports_and_cleans_up(self):
+        plan = FaultPlan("exported", specs=[])
+        with activate(plan, env=True):
+            assert os.environ[ENV_VAR] == plan.to_json()
+        assert ENV_VAR not in os.environ

@@ -1,0 +1,153 @@
+"""The crash-consistency invariant: SIGKILL a corpus sweep mid-run,
+``--resume`` it, and the final report is byte-identical (under the
+stable projection of :mod:`repro.faults.invariants`) to an
+uninterrupted run's.
+
+This is the strongest end-to-end claim the robustness stack makes: the
+per-case artifacts are written atomically (``repro.io``), resume trusts
+only complete artifacts, and the aggregate is a pure function of the
+case outcomes — so a kill at *any* instant loses at most in-flight
+work, never correctness.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.faults import ENV_VAR, FaultPlan, FaultSpec, stable_report_bytes
+
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src")
+)
+
+#: Slows each case enough that the SIGKILL below lands mid-sweep
+#: deterministically (the quick corpus otherwise finishes in <1 s).
+SLOW_PLAN = FaultPlan(
+    "stretch",
+    specs=[FaultSpec(site="stage.match", mode="slow", delay_s=0.25)],
+)
+
+
+def corpus_cmd(outdir: str, resume: bool = False) -> list:
+    cmd = [sys.executable, "-m", "repro", "corpus", "run", "--quick", "--json"]
+    if resume:
+        cmd += ["--resume", outdir]
+    else:
+        cmd += ["--outdir", outdir]
+    return cmd
+
+
+def run_env(slow: bool) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop(ENV_VAR, None)
+    if slow:
+        env[ENV_VAR] = SLOW_PLAN.to_json()
+    return env
+
+
+@pytest.mark.slow
+class TestKillResumeIdentical:
+    def test_sigkill_then_resume_matches_uninterrupted_run(self, tmp_path):
+        baseline_dir = str(tmp_path / "uninterrupted")
+        subprocess.run(
+            corpus_cmd(baseline_dir),
+            env=run_env(slow=False),
+            check=True,
+            capture_output=True,
+            timeout=300,
+        )
+
+        # Second sweep: SIGKILL it once a few case artifacts exist but
+        # before the sweep can finish.
+        killed_dir = str(tmp_path / "killed")
+        results_dir = os.path.join(killed_dir, "results")
+        process = subprocess.Popen(
+            corpus_cmd(killed_dir),
+            env=run_env(slow=True),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                done = (
+                    len(os.listdir(results_dir))
+                    if os.path.isdir(results_dir)
+                    else 0
+                )
+                if done >= 2:
+                    break
+                if process.poll() is not None:
+                    pytest.fail(
+                        "sweep finished before the kill could land; "
+                        "increase the slow plan's delay"
+                    )
+                time.sleep(0.05)
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+        assert process.returncode == -signal.SIGKILL
+        # The kill genuinely interrupted it: no aggregate report exists.
+        assert not os.path.exists(
+            os.path.join(killed_dir, "corpus_report.json")
+        )
+        partial = len(os.listdir(results_dir))
+        assert 0 < partial < 12  # some cases done, not all
+
+        # Resume: only the missing cases route, then the aggregate is
+        # rebuilt from the full artifact set.
+        subprocess.run(
+            corpus_cmd(killed_dir, resume=True),
+            env=run_env(slow=False),
+            check=True,
+            capture_output=True,
+            timeout=300,
+        )
+
+        with open(os.path.join(baseline_dir, "corpus_report.json")) as fh:
+            baseline = json.load(fh)
+        with open(os.path.join(killed_dir, "corpus_report.json")) as fh:
+            resumed = json.load(fh)
+        assert stable_report_bytes(resumed) == stable_report_bytes(baseline)
+
+    def test_every_surviving_artifact_is_complete_json(self, tmp_path):
+        """Atomic artifact writes mean a SIGKILL can never leave a torn
+        per-case file — whatever exists after the kill parses."""
+        outdir = str(tmp_path / "killed")
+        results_dir = os.path.join(outdir, "results")
+        process = subprocess.Popen(
+            corpus_cmd(outdir),
+            env=run_env(slow=True),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if (
+                    os.path.isdir(results_dir)
+                    and len(os.listdir(results_dir)) >= 1
+                ):
+                    break
+                if process.poll() is not None:
+                    break
+                time.sleep(0.02)
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+        for name in os.listdir(results_dir):
+            with open(os.path.join(results_dir, name)) as fh:
+                document = json.load(fh)  # parses or the write tore
+            assert isinstance(document, dict)

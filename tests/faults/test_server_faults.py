@@ -1,0 +1,272 @@
+"""Transport chaos against a live daemon: 503s, stalls, refusals,
+mid-stream disconnects, dead servers, degraded caches, deadlines.
+
+Each test runs its own in-process daemon on an ephemeral port so fault
+plans and cache state never bleed between tests.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, activate, stable_report_bytes
+from repro.server import make_http_server
+from repro.server.client import ServerClient, ServerUnavailable, TransportError
+
+from conftest import CHAOS_SEEDS, small_board  # same-directory module
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = make_http_server(
+        cache_dir=str(tmp_path / "cache"), port=0
+    ).start_background()
+    try:
+        yield srv
+    finally:
+        srv.shutdown(drain_timeout=5.0)
+
+
+def overload_plan(fires: int, **kwargs) -> FaultPlan:
+    return FaultPlan(
+        "overload",
+        specs=[
+            FaultSpec(
+                site="transport.response",
+                mode="http_503",
+                max_fires=fires,
+                **kwargs,
+            )
+        ],
+    )
+
+
+class TestRetries:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_503_storm_is_absorbed_by_backoff(self, server, seed):
+        with activate(overload_plan(fires=2)):
+            client = ServerClient(
+                server.url,
+                retries=3,
+                backoff_base=0.01,
+                backoff_cap=0.05,
+                rng=random.Random(seed),
+            )
+            resp = client.healthz()
+        assert resp.ok and resp.payload["ok"] is True
+        assert client.retry_count == 2  # exactly the injected 503s
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_backoff_schedule_is_seed_deterministic(self, seed, monkeypatch):
+        """Two clients with the same rng seed produce byte-identical
+        backoff schedules; a different seed produces a different one."""
+
+        def schedule(client_seed: int) -> tuple:
+            client = ServerClient(
+                "http://example.invalid",
+                retries=4,
+                rng=random.Random(client_seed),
+            )
+            return tuple(client._backoff_s(n) for n in range(1, 5))
+
+        assert schedule(seed) == schedule(seed)
+        assert schedule(seed) != schedule(seed + 1)
+        # And the capped-exponential envelope holds: uniform(0, min(cap,
+        # base * 2^(n-1))).
+        for n, pause in enumerate(schedule(seed), start=1):
+            assert 0.0 <= pause <= min(2.0, 0.1 * (2 ** (n - 1)))
+
+    def test_retried_route_artifact_is_stable_identical(self, server, tmp_path):
+        """A route that survived a 503 + retry produces the same
+        artifact (modulo wall-clock keys) as one that never saw a fault
+        — replaying an idempotent request cannot change the answer."""
+        board = small_board("retried")
+        with activate(overload_plan(fires=1, match="/route")):
+            client = ServerClient(
+                server.url, retries=2, backoff_base=0.01, rng=random.Random(0)
+            )
+            faulted = client.route(board, preset="fast")
+        assert faulted.ok and client.retry_count == 1
+        clean_srv = make_http_server(
+            cache_dir=str(tmp_path / "clean-cache"), port=0
+        ).start_background()
+        try:
+            clean = ServerClient(clean_srv.url).route(board, preset="fast")
+        finally:
+            clean_srv.shutdown(drain_timeout=5.0)
+        assert faulted.payload["key"] == clean.payload["key"]
+        assert stable_report_bytes(
+            faulted.payload["result"]
+        ) == stable_report_bytes(clean.payload["result"])
+
+    def test_client_side_refusal_is_retried(self, server):
+        plan = FaultPlan(
+            "flaky-network",
+            specs=[
+                FaultSpec(site="transport.request", mode="refuse", max_fires=1)
+            ],
+        )
+        with activate(plan):
+            client = ServerClient(
+                server.url, retries=2, backoff_base=0.01, rng=random.Random(0)
+            )
+            assert client.healthz().ok
+        assert client.retry_count == 1
+
+    def test_refusal_with_no_retries_is_typed(self, server):
+        plan = FaultPlan(
+            "hard-refusal",
+            specs=[FaultSpec(site="transport.request", mode="refuse")],
+        )
+        with activate(plan):
+            client = ServerClient(server.url, retries=0)
+            with pytest.raises(ServerUnavailable) as info:
+                client.healthz()
+        assert info.value.attempts == 1
+
+    def test_server_stall_trips_timeout_then_recovers(self, server):
+        plan = FaultPlan(
+            "stall",
+            specs=[
+                FaultSpec(
+                    site="transport.response",
+                    mode="stall",
+                    delay_s=1.5,
+                    max_fires=1,
+                )
+            ],
+        )
+        with activate(plan):
+            client = ServerClient(
+                server.url,
+                timeout=0.4,
+                retries=2,
+                backoff_base=0.01,
+                rng=random.Random(0),
+            )
+            resp = client.healthz()
+        assert resp.ok
+        assert client.retry_count >= 1
+
+
+class TestDeadServer:
+    def test_unreachable_server_is_typed_within_deadline(self):
+        client = ServerClient(
+            "http://127.0.0.1:9",  # discard port: nothing listens
+            timeout=1.0,
+            retries=5,
+            backoff_base=0.05,
+            backoff_cap=0.2,
+            deadline=2.0,
+            rng=random.Random(0),
+        )
+        started = time.monotonic()
+        with pytest.raises(ServerUnavailable) as info:
+            client.healthz()
+        elapsed = time.monotonic() - started
+        assert elapsed < 6.0  # bounded by the budget, not retries x timeout
+        assert info.value.attempts >= 1
+        assert info.value.url.startswith("http://127.0.0.1:9")
+        assert info.value.cause is not None
+        # It is a typed OSError subclass — callers catch TransportError.
+        assert isinstance(info.value, TransportError)
+
+    def test_http_errors_are_verdicts_not_retried(self, server):
+        """A 400 envelope must come straight back — retrying a verdict
+        would double-bill non-idempotent work elsewhere."""
+        client = ServerClient(server.url, retries=3, rng=random.Random(0))
+        resp = client.route({"not": "a board"}, preset="fast")
+        assert resp.status == 400
+        assert client.retry_count == 0
+
+
+class TestStreamFaults:
+    def test_mid_stream_disconnect_is_typed(self, server):
+        plan = FaultPlan(
+            "proxy-crash",
+            specs=[
+                FaultSpec(site="transport.stream", mode="disconnect", skip=1)
+            ],
+        )
+        boards = [small_board(f"s{i}") for i in range(3)]
+        with activate(plan):
+            client = ServerClient(server.url)
+            events = []
+            with pytest.raises(TransportError, match="truncated"):
+                for event in client.route_batch(boards, preset="fast"):
+                    events.append(event)
+        # The stream delivered complete events up to the cut, then the
+        # truncation surfaced as a typed transport error — never a
+        # silent short read that looks like a finished batch.
+        assert 1 <= len(events) < 4
+        assert all(event["kind"] == "route_event" for event in events)
+        assert not any(event.get("event") == "batch_done" for event in events)
+
+
+class TestDegradedServing:
+    def test_unusable_cache_dir_serves_degraded(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        srv = make_http_server(
+            cache_dir=str(blocker / "cache"), port=0
+        ).start_background()
+        try:
+            client = ServerClient(srv.url)
+            health = client.healthz()
+            assert health.ok and health.payload["ok"] is True
+            assert health.payload["cache"] == "degraded"
+            # Routing still answers — twice, both misses (nothing can
+            # be cached), both correct.
+            first = client.route(small_board("nocache"), preset="fast")
+            second = client.route(small_board("nocache"), preset="fast")
+            assert first.ok and second.ok
+            assert first.payload["cache"] == "miss"
+            assert second.payload["cache"] == "miss"
+            stats = client.stats()
+            assert stats.payload["cache"]["mode"] == "degraded"
+        finally:
+            srv.shutdown(drain_timeout=5.0)
+
+    def test_enospc_mid_flight_degrades_but_keeps_serving(self, tmp_path):
+        srv = make_http_server(
+            cache_dir=str(tmp_path / "cache"), port=0
+        ).start_background()
+        plan = FaultPlan(
+            "disk-fills-up",
+            specs=[FaultSpec(site="cache.write", mode="enospc", max_fires=1)],
+        )
+        try:
+            client = ServerClient(srv.url)
+            assert client.healthz().payload["cache"] == "ok"
+            with activate(plan):
+                resp = client.route(small_board("during-enospc"), preset="fast")
+            assert resp.ok  # the route answered despite the failed put
+            assert client.healthz().payload["cache"] == "degraded"
+        finally:
+            srv.shutdown(drain_timeout=5.0)
+
+
+class TestRequestDeadline:
+    def test_overrunning_route_is_504(self, tmp_path):
+        srv = make_http_server(
+            cache_dir=str(tmp_path / "cache"),
+            port=0,
+            request_deadline=0.2,
+        ).start_background()
+        plan = FaultPlan(
+            "molasses",
+            specs=[FaultSpec(site="stage.match", mode="slow", delay_s=2.0)],
+        )
+        try:
+            client = ServerClient(srv.url, retries=0)
+            with activate(plan):
+                resp = client.route(small_board("too-slow"), preset="fast")
+            assert resp.status == 504
+            assert resp.payload["error"]["type"] == "DeadlineExceeded"
+            # A fast request on the same server still answers inside
+            # the deadline.
+            quick = client.route(small_board("quick-one"), preset="fast")
+            assert quick.ok
+        finally:
+            srv.shutdown(drain_timeout=5.0)
