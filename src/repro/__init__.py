@@ -82,7 +82,7 @@ from .api import (
     StageRecord,
     default_stages,
 )
-from . import scenarios
+from . import obs, scenarios
 from .scenarios import ScenarioSpec
 from .io import (
     board_from_json,

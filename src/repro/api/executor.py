@@ -23,11 +23,13 @@ as the plain dicts :mod:`repro.io` defines.
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
 from collections import deque
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from .. import obs
 from ..model import Board
 from .config import SessionConfig
 from .result import RunResult
@@ -88,8 +90,24 @@ def _route_board_worker(payload):
     travels home), and codec failures around the pipeline come back as a
     synthetic crashed result — an exception escaping this function would
     look like a dead worker to the parent.
+
+    Returns ``(result_dict, routed_board_dict, trace_dict_or_None)``.
+    The trace is present only when the parent armed tracing through
+    ``obs.ENV_VAR`` (collectors are thread-local and cannot cross the
+    process boundary any other way); the parent grafts it back into its
+    own live trace.
     """
     board_dict, config_dict = payload
+    name = board_dict.get("name", "") if isinstance(board_dict, dict) else ""
+    if not os.environ.get(obs.ENV_VAR):
+        result_dict, routed_dict = _route_board_impl(board_dict, config_dict, name)
+        return result_dict, routed_dict, None
+    with obs.trace(f"worker {name}", board=name, pid=os.getpid()) as wtrace:
+        result_dict, routed_dict = _route_board_impl(board_dict, config_dict, name)
+    return result_dict, routed_dict, wtrace.to_dict()
+
+
+def _route_board_impl(board_dict, config_dict, name):
     from .. import faults
     from ..io import board_from_dict, board_to_dict, run_result_to_dict
 
@@ -101,16 +119,13 @@ def _route_board_worker(payload):
         # so it crosses the process boundary): ``kill`` hard-exits this
         # worker — the parent sees a broken pool and must attribute
         # guilt; ``hang`` trips the per-board timeout path.
-        faults.inject(
-            "executor.worker",
-            board=board_dict.get("name", "") if isinstance(board_dict, dict) else "",
-        )
+        faults.inject("executor.worker", board=name)
         board = board_from_dict(board_dict)
         result = RoutingSession(board, config=config).run(capture_errors=True)
         return run_result_to_dict(result), board_to_dict(board)
     except Exception as exc:
         result = crashed_result(
-            board_dict.get("name", ""),
+            name,
             exc,
             config=config,
             provenance=(board_dict.get("meta") or {}).get("scenario"),
@@ -191,49 +206,55 @@ def run_batch(
             "custom stages cannot be shipped to worker processes"
         )
     parallel = workers is not None and workers > 1 and len(boards) > 1
-    if not parallel:
-        if workers is not None and workers > 1:
-            warnings.warn(
-                f"workers={workers} ignored: a single-board batch runs "
-                "serially",
-                RuntimeWarning,
-                stacklevel=3,
+    with obs.span(
+        "executor.run_batch",
+        boards=len(boards),
+        mode="parallel" if parallel else "serial",
+        workers=(workers if parallel else 1),
+    ):
+        if not parallel:
+            if workers is not None and workers > 1:
+                warnings.warn(
+                    f"workers={workers} ignored: a single-board batch runs "
+                    "serially",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            ignored = [
+                name
+                for name, requested in (
+                    ("timeout", timeout is not None),
+                    ("retry", retry),
+                )
+                if requested
+            ]
+            if ignored:
+                warnings.warn(
+                    f"{' and '.join(ignored)} ignored: only workers-mode "
+                    "batches can preempt or cleanly re-run a board",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return _run_batch_serial(
+                boards,
+                config,
+                stages,
+                on_board_done,
+                on_stage_start,
+                on_stage_end,
+                on_member_done,
             )
-        ignored = [
-            name
-            for name, requested in (
-                ("timeout", timeout is not None),
-                ("retry", retry),
-            )
-            if requested
-        ]
-        if ignored:
-            warnings.warn(
-                f"{' and '.join(ignored)} ignored: only workers-mode "
-                "batches can preempt or cleanly re-run a board",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-        return _run_batch_serial(
+        return _run_batch_parallel(
             boards,
             config,
-            stages,
+            workers,
+            timeout,
+            retry,
             on_board_done,
             on_stage_start,
             on_stage_end,
             on_member_done,
         )
-    return _run_batch_parallel(
-        boards,
-        config,
-        workers,
-        timeout,
-        retry,
-        on_board_done,
-        on_stage_start,
-        on_stage_end,
-        on_member_done,
-    )
 
 
 def _run_batch_serial(
@@ -249,25 +270,27 @@ def _run_batch_serial(
         config = SessionConfig.preset(config)
     results: List[RunResult] = []
     for index, board in enumerate(boards):
-        try:
-            result = RoutingSession(
-                board,
-                config=config,
-                stages=stages,
-                on_stage_start=on_stage_start,
-                on_stage_end=on_stage_end,
-                on_member_done=on_member_done,
-            ).run(capture_errors=True)
-        except Exception as exc:
-            # run(capture_errors=True) only lets non-stage failures
-            # out (config snapshotting, a broken custom Stage list);
-            # the per-board contract still holds.
-            result = crashed_result(
-                board.name,
-                exc,
-                config=config,
-                provenance=board.meta.get("scenario"),
-            )
+        with obs.span("executor.board", board=board.name, index=index) as sp:
+            try:
+                result = RoutingSession(
+                    board,
+                    config=config,
+                    stages=stages,
+                    on_stage_start=on_stage_start,
+                    on_stage_end=on_stage_end,
+                    on_member_done=on_member_done,
+                ).run(capture_errors=True)
+            except Exception as exc:
+                # run(capture_errors=True) only lets non-stage failures
+                # out (config snapshotting, a broken custom Stage list);
+                # the per-board contract still holds.
+                result = crashed_result(
+                    board.name,
+                    exc,
+                    config=config,
+                    provenance=board.meta.get("scenario"),
+                )
+            sp.set(status=result.status)
         results.append(result)
         if on_board_done is not None:
             on_board_done(index, board, result)
@@ -299,6 +322,7 @@ def _run_batch_parallel(
     max_workers = min(workers, n)
     results: List[Optional[RunResult]] = [None] * n
     routed_dicts: List[Optional[Dict[str, Any]]] = [None] * n
+    worker_traces: List[Optional[Dict[str, Any]]] = [None] * n
     submits = [0] * n
     queue = deque(range(n))
     #: Suspects after a pool break: routed one at a time so the next
@@ -325,6 +349,22 @@ def _run_batch_parallel(
         if routed_dicts[index] is not None:
             _adopt_routed(boards[index], board_from_dict(routed_dicts[index]))
         results[index] = result
+        if obs.enabled():
+            # One completed span per settled board (timed in the worker;
+            # monotonic clocks don't cross processes, so the duration is
+            # shipped, not measured here), with the worker's own span
+            # tree grafted beneath it.
+            board_span = obs.record(
+                "executor.board",
+                result.runtime,
+                board=boards[index].name,
+                index=index,
+                submits=submits[index],
+                status=result.status,
+            )
+            shipped = worker_traces[index]
+            if shipped and board_span is not None:
+                obs.current_trace().graft(shipped, parent_id=board_span.span_id)
         if on_board_done is not None:
             on_board_done(index, boards[index], result)
 
@@ -335,10 +375,24 @@ def _run_batch_parallel(
             # retry resubmits the pristine payload and must not mix
             # attempts on adoption.
             routed_dicts[index] = None
+            worker_traces[index] = None
+            obs.record(
+                "executor.retry",
+                0.0,
+                board=boards[index].name,
+                attempt=submits[index],
+            )
             queue.append(index)
         else:
             settle(index, result)
 
+    # Arm worker-side tracing only while this (traced) batch runs:
+    # workers read the flag at fork/spawn, run each board under a local
+    # trace and ship it home with the result.
+    tracing = obs.enabled()
+    prev_env = os.environ.get(obs.ENV_VAR)
+    if tracing:
+        os.environ[obs.ENV_VAR] = "1"
     pool = ProcessPoolExecutor(max_workers=max_workers)
     try:
         while queue or solo or inflight:
@@ -372,6 +426,12 @@ def _run_batch_parallel(
                     submit_failed = True
                     break
                 submits[index] += 1
+                obs.record(
+                    "executor.submit",
+                    0.0,
+                    board=boards[index].name,
+                    attempt=submits[index],
+                )
                 deadline = (
                     time.monotonic() + timeout if timeout is not None else None
                 )
@@ -391,15 +451,16 @@ def _run_batch_parallel(
                     0.0,
                     min(d for _, d in inflight.values() if d is not None) - now,
                 )
-            done, _ = wait(
-                list(inflight), timeout=wait_s, return_when=FIRST_COMPLETED
-            )
+            with obs.span("executor.wait", inflight=len(inflight)):
+                done, _ = wait(
+                    list(inflight), timeout=wait_s, return_when=FIRST_COMPLETED
+                )
 
             pool_broke = False
             for future in done:
                 index, _ = inflight.pop(future)
                 try:
-                    result_dict, routed_dict = future.result()
+                    result_dict, routed_dict, worker_trace = future.result()
                 except BrokenProcessPool:
                     # The pool is gone and every unfinished future gets
                     # this exception at once; handled wholesale below
@@ -418,6 +479,7 @@ def _run_batch_parallel(
                     )
                 else:
                     routed_dicts[index] = routed_dict
+                    worker_traces[index] = worker_trace
                     result = run_result_from_dict(result_dict)
                     settle_or_retry(index, result)
 
@@ -496,6 +558,11 @@ def _run_batch_parallel(
                     pool = ProcessPoolExecutor(max_workers=max_workers)
     finally:
         discard_pool(pool)
+        if tracing:
+            if prev_env is None:
+                os.environ.pop(obs.ENV_VAR, None)
+            else:
+                os.environ[obs.ENV_VAR] = prev_env
 
     final_results: List[RunResult] = []
     replay = (

@@ -34,7 +34,7 @@ import time
 import traceback
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
-from .. import faults
+from .. import faults, obs
 from ..core import MemberReport
 from ..model import Board
 from .config import SessionConfig
@@ -135,41 +135,50 @@ class RoutingSession:
             # (mutating one would silently corrupt the other's record).
             result.provenance = copy.deepcopy(scenario)
         started = time.perf_counter()
-        for stage in self.stages:
-            if self.on_stage_start is not None:
-                self.on_stage_start(self, stage)
-            stage_started = time.perf_counter()
-            try:
-                # The chaos suite's stage-boundary injection point
-                # (repro.faults): inert unless a fault plan is armed in
-                # this process or via the environment.  Inside the try
-                # so an injected crash takes the same capture path as a
-                # real stage crash.
-                faults.inject(f"stage.{stage.name}", board=self.board.name)
-                record = stage.run(self, result)
-            except Exception as exc:
-                if not capture_errors:
-                    result.runtime = time.perf_counter() - started
-                    raise
-                # An exception that names its own stage (StageFailure
-                # raised by a helper on behalf of another stage) wins
-                # over the loop's current stage.
-                result.error = error_record(
-                    exc, stage=getattr(exc, "stage", "") or stage.name
+        with obs.span(
+            "session.run", board=self.board.name, preset=self.config.preset_name
+        ) as run_span:
+            for stage in self.stages:
+                if self.on_stage_start is not None:
+                    self.on_stage_start(self, stage)
+                stage_started = time.perf_counter()
+                with obs.span(f"stage.{stage.name}") as stage_span:
+                    try:
+                        # The chaos suite's stage-boundary injection point
+                        # (repro.faults): inert unless a fault plan is armed
+                        # in this process or via the environment.  Inside the
+                        # try so an injected crash takes the same capture
+                        # path as a real stage crash.
+                        faults.inject(f"stage.{stage.name}", board=self.board.name)
+                        record = stage.run(self, result)
+                    except Exception as exc:
+                        if not capture_errors:
+                            result.runtime = time.perf_counter() - started
+                            raise
+                        # An exception that names its own stage (StageFailure
+                        # raised by a helper on behalf of another stage) wins
+                        # over the loop's current stage.
+                        result.error = error_record(
+                            exc, stage=getattr(exc, "stage", "") or stage.name
+                        )
+                        record = StageRecord(
+                            stage.name,
+                            STATUS_CRASHED,
+                            detail=f"{type(exc).__name__}: {exc}",
+                        )
+                    stage_span.set(status=record.status)
+                record.runtime = time.perf_counter() - stage_started
+                obs.REGISTRY.observe(
+                    "repro_stage_seconds", record.runtime, stage=stage.name
                 )
-                record = StageRecord(
-                    stage.name,
-                    STATUS_CRASHED,
-                    detail=f"{type(exc).__name__}: {exc}",
-                )
-            record.runtime = time.perf_counter() - stage_started
-            result.stages.append(record)
-            if self.on_stage_end is not None:
-                self.on_stage_end(self, record)
-            if result.error is not None:
-                break
-        result.runtime = time.perf_counter() - started
-        result.finalize_status()
+                result.stages.append(record)
+                if self.on_stage_end is not None:
+                    self.on_stage_end(self, record)
+                if result.error is not None:
+                    break
+            result.runtime = time.perf_counter() - started
+            result.finalize_status()
+            run_span.set(status=result.status, runtime=result.runtime)
         return result
 
     @classmethod

@@ -55,10 +55,11 @@ import json
 import os
 import tempfile
 import threading
+import time
 from typing import Any, Dict, Optional
 
 from .._version import __version__
-from .. import faults
+from .. import faults, obs
 from ..io import canonical_json
 
 #: Entry documents are self-describing like every other repro artifact.
@@ -112,12 +113,19 @@ class ResultCache:
         self.cache_dir = cache_dir
         self.max_bytes = max_bytes
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._corrupt = 0
-        self._quarantined = 0
-        self._put_errors = 0
+        #: Per-instance registry (two caches in one process must not
+        #: bleed into each other's numbers — tests assert per-instance
+        #: counts); the server merges it into ``GET /metrics``.
+        self.metrics = obs.MetricsRegistry()
+        for _name in (
+            "repro_cache_hits_total",
+            "repro_cache_misses_total",
+            "repro_cache_evictions_total",
+            "repro_cache_corrupt_total",
+            "repro_cache_quarantined_total",
+            "repro_cache_put_errors_total",
+        ):
+            self.metrics.counter(_name)
         #: ``None`` while healthy; the reason string once degraded.
         self.degraded: Optional[str] = None
         try:
@@ -154,6 +162,16 @@ class ResultCache:
         as corrupt *and* a miss: callers always either get a valid
         payload or re-route.
         """
+        started = time.perf_counter()
+        with obs.span("cache.get", key=key[:16]) as sp:
+            payload = self._get(key)
+            sp.set(hit=payload is not None)
+        self.metrics.observe(
+            "repro_cache_get_seconds", time.perf_counter() - started
+        )
+        return payload
+
+    def _get(self, key: str) -> Optional[Dict[str, Any]]:
         path = self._path(key)
         spec = faults.decide("cache.read", key=key)
         if spec is not None and spec.mode == "garbage":
@@ -176,8 +194,7 @@ class ResultCache:
             ):
                 raise ValueError("not a cache entry")
         except FileNotFoundError:
-            with self._lock:
-                self._misses += 1
+            self.metrics.inc("repro_cache_misses_total")
             return None
         except (OSError, ValueError, AttributeError):
             # json.JSONDecodeError is a ValueError; AttributeError
@@ -190,8 +207,7 @@ class ResultCache:
             # A concurrent eviction or cleanup removed the file after we
             # read it; the payload in hand is still valid.
             pass
-        with self._lock:
-            self._hits += 1
+        self.metrics.inc("repro_cache_hits_total")
         return document["payload"]
 
     def put(self, key: str, payload: Dict[str, Any]) -> Optional[str]:
@@ -208,6 +224,16 @@ class ResultCache:
         caller's request proceeds uncached — losing the cache must
         never lose the answer.
         """
+        started = time.perf_counter()
+        with obs.span("cache.put", key=key[:16]) as sp:
+            path = self._put(key, payload)
+            sp.set(stored=path is not None)
+        self.metrics.observe(
+            "repro_cache_put_seconds", time.perf_counter() - started
+        )
+        return path
+
+    def _put(self, key: str, payload: Dict[str, Any]) -> Optional[str]:
         path = self._path(key)
         if self.degraded is not None:
             return None
@@ -249,8 +275,7 @@ class ResultCache:
                     pass
                 raise
         except OSError as exc:
-            with self._lock:
-                self._put_errors += 1
+            self.metrics.inc("repro_cache_put_errors_total")
             self._degrade(f"cache write failed: {exc}")
             return None
         self._evict_if_needed()
@@ -302,11 +327,10 @@ class ResultCache:
                 os.unlink(path)
             except OSError:
                 pass
-        with self._lock:
-            self._corrupt += 1
-            self._misses += 1
-            if quarantined:
-                self._quarantined += 1
+        self.metrics.inc("repro_cache_corrupt_total")
+        self.metrics.inc("repro_cache_misses_total")
+        if quarantined:
+            self.metrics.inc("repro_cache_quarantined_total")
 
     def _entries(self):
         """``(path, size, mtime)`` for every entry currently on disk.
@@ -355,7 +379,8 @@ class ResultCache:
                     continue
                 total -= size
                 evicted += 1
-            self._evictions += evicted
+            if evicted:
+                self.metrics.inc("repro_cache_evictions_total", evicted)
             return evicted
 
     def stats(self) -> Dict[str, Any]:
@@ -369,12 +394,18 @@ class ResultCache:
                 "entries": len(entries),
                 "bytes": sum(size for _, size, _ in entries),
                 "max_bytes": self.max_bytes,
-                "hits": self._hits,
-                "misses": self._misses,
-                "evictions": self._evictions,
-                "corrupt": self._corrupt,
-                "quarantined": self._quarantined,
-                "put_errors": self._put_errors,
+                "hits": int(self.metrics.value("repro_cache_hits_total")),
+                "misses": int(self.metrics.value("repro_cache_misses_total")),
+                "evictions": int(
+                    self.metrics.value("repro_cache_evictions_total")
+                ),
+                "corrupt": int(self.metrics.value("repro_cache_corrupt_total")),
+                "quarantined": int(
+                    self.metrics.value("repro_cache_quarantined_total")
+                ),
+                "put_errors": int(
+                    self.metrics.value("repro_cache_put_errors_total")
+                ),
             }
 
 

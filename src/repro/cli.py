@@ -16,6 +16,9 @@ Subcommands::
     python -m repro bench all --outdir out
     python -m repro bench --perf --quick
     python -m repro bench --perf --scenarios
+    python -m repro route board.json --trace trace.json
+    python -m repro trace summarize trace.json
+    python -m repro serve --trace-dir traces/
 
 ``route`` runs the full :class:`~repro.api.RoutingSession` pipeline and
 can persist the structured :class:`~repro.api.RunResult` (with
@@ -58,13 +61,15 @@ from .io import (
     board_to_json,
     corpus_report_to_dict,
     load_board,
+    load_trace,
     run_result_to_dict,
     save_board,
     save_result,
+    save_trace,
 )
 # The package root imports repro.scenarios anyway, so this costs nothing
 # extra at CLI start-up.
-from . import scenarios
+from . import obs, scenarios
 from .scenarios import CORPUS_GATE
 from .viz import render_board
 
@@ -133,6 +138,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --remote: transport retries after the first attempt "
         "(capped exponential backoff + jitter; default: 2). The route "
         "request is content-addressed, so replays are safe",
+    )
+    route.add_argument(
+        "--trace", default=None, metavar="TRACE.json",
+        help="collect a repro.obs span trace of the run and write it "
+        "here (local runs only; inspect with `repro trace summarize`)",
     )
 
     check = sub.add_parser("check", help="DRC-check a board JSON file")
@@ -248,6 +258,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "config, version) key is already cached skip routing entirely; "
         "fresh results are published back (see repro.cache)",
     )
+    corpus.add_argument(
+        "--trace", default=None, metavar="TRACE.json",
+        help="collect a repro.obs span trace of the whole sweep "
+        "(worker-process traces are grafted in) and write it here",
+    )
 
     serve = sub.add_parser(
         "serve", help="run the routing-as-a-service HTTP daemon"
@@ -288,7 +303,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: %(default)s)",
     )
     serve.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write one repro.obs trace JSON per request under DIR and "
+        "echo its id in the X-Repro-Trace response header "
+        "(default: tracing off)",
+    )
+    serve.add_argument(
         "--quiet", action="store_true", help="suppress per-request log lines"
+    )
+
+    trace = sub.add_parser(
+        "trace", help="inspect a repro.obs trace artifact"
+    )
+    trace.add_argument("action", choices=("summarize",), help="trace action")
+    trace.add_argument("path", help="trace JSON written by --trace / --trace-dir")
+    trace.add_argument(
+        "--tree", action="store_true",
+        help="print the span tree (indented, with durations) instead of "
+        "the per-name aggregate table",
+    )
+    trace.add_argument(
+        "--json", action="store_true",
+        help="print the aggregate rows as JSON",
     )
 
     bench = sub.add_parser(
@@ -349,6 +385,14 @@ def _cmd_route(args: argparse.Namespace) -> int:
         config.drc.enabled = False
 
     if args.remote is not None:
+        if args.trace is not None:
+            print(
+                "error: --trace records the local pipeline; with --remote "
+                "the routing happens in the daemon (start it with "
+                "`repro serve --trace-dir` instead)",
+                file=sys.stderr,
+            )
+            return 2
         return _route_remote(args, board, config)
 
     # The content address of this computation — captured *before*
@@ -362,7 +406,19 @@ def _cmd_route(args: argparse.Namespace) -> int:
     on_stage_start = None
     if not args.quiet and not args.json:
         on_stage_start = lambda session, stage: print(f"[{stage.name}] ...")
-    result = RoutingSession(board, config, on_stage_start=on_stage_start).run()
+    session = RoutingSession(board, config, on_stage_start=on_stage_start)
+    if args.trace is not None:
+        with obs.trace(
+            f"route {board.name}", board=board.name, preset=args.preset
+        ) as collected:
+            result = session.run()
+        save_trace(collected, args.trace)
+        # Stamped before save_result so the artifact records where its
+        # trace lives; untraced runs keep the field unset (and the JSON
+        # byte-identical to pre-observability artifacts).
+        result.trace_ref = args.trace
+    else:
+        result = session.run()
 
     if args.out:
         save_result(result, args.out)
@@ -388,6 +444,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
             print(f"wrote {args.out}")
         if args.svg:
             print(f"wrote {args.svg}")
+        if args.trace:
+            print(f"wrote {args.trace}")
     return 0 if result.ok() else 1
 
 
@@ -504,6 +562,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         quiet=args.quiet,
         request_deadline=args.request_deadline,
+        trace_dir=args.trace_dir,
     )
     # SIGTERM (the deploy/orchestrator stop signal) begins a graceful
     # drain: stop admitting, finish in-flight requests and open NDJSON
@@ -518,9 +577,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_note += " [DEGRADED: serving without a cache]"
     # Announced on stdout (and flushed) so wrappers that asked for an
     # ephemeral port (--port 0) can read the real endpoint back.
+    trace_note = f", traces: {args.trace_dir}" if args.trace_dir else ""
     print(
         f"repro-serve listening on {server.url} "
-        f"(cache: {cache_note}, workers: {args.workers or 'serial'})",
+        f"(cache: {cache_note}, workers: {args.workers or 'serial'}"
+        f"{trace_note})",
         flush=True,
     )
     try:
@@ -627,21 +688,31 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
             )
             return 2
         outdir = args.resume
-    report = scenarios.run_corpus(
-        scenarios=args.scenario,
-        seeds=args.seeds,
-        quick=args.quick,
-        preset=args.preset,
-        workers=args.workers,
-        outdir=outdir,
-        save_boards=args.save_boards,
-        gate=args.gate,
-        verbose=not args.json,
-        timeout=args.timeout,
-        retry=args.retry,
-        resume=args.resume is not None,
-        cache=args.cache_dir,
-    )
+    def sweep():
+        return scenarios.run_corpus(
+            scenarios=args.scenario,
+            seeds=args.seeds,
+            quick=args.quick,
+            preset=args.preset,
+            workers=args.workers,
+            outdir=outdir,
+            save_boards=args.save_boards,
+            gate=args.gate,
+            verbose=not args.json,
+            timeout=args.timeout,
+            retry=args.retry,
+            resume=args.resume is not None,
+            cache=args.cache_dir,
+        )
+
+    if args.trace is not None:
+        with obs.trace("corpus run", preset=args.preset) as collected:
+            report = sweep()
+        save_trace(collected, args.trace)
+        if not args.json:
+            print(f"wrote {args.trace}")
+    else:
+        report = sweep()
     if args.json:
         # The same versioned envelope save_corpus_report writes, so
         # redirected stdout round-trips through load_corpus_report.
@@ -655,6 +726,48 @@ def _cmd_render(args: argparse.Namespace) -> int:
         board, path=args.out, scale=args.scale, show_areas=args.show_areas
     )
     print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``trace summarize``: the aggregate (or tree) view of one trace.
+
+    Reads any artifact :func:`repro.io.save_trace` wrote — ``route
+    --trace``, ``corpus run --trace``, or a per-request file from a
+    ``serve --trace-dir`` daemon.
+    """
+    trace = load_trace(args.path)
+    doc = trace.to_dict()
+    if args.tree:
+        print(f"{trace.name}  ({trace.duration_s() * 1000.0:.1f} ms total)")
+        for depth, span in obs.iter_tree(doc):
+            attrs = span.get("attrs") or {}
+            note = ""
+            if attrs:
+                pairs = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+                note = f"  [{pairs}]"
+            print(
+                f"{'  ' * (depth + 1)}{span['name']}  "
+                f"{span['duration_s'] * 1000.0:.2f} ms{note}"
+            )
+        return 0
+    rows = obs.aggregate_spans(doc)
+    if args.json:
+        print(json.dumps({"trace": trace.trace_id, "rows": rows}, indent=2))
+        return 0
+    print(
+        f"trace {trace.trace_id}  {trace.name!r}  "
+        f"{len(doc['spans'])} spans  {trace.duration_s() * 1000.0:.1f} ms"
+    )
+    header = f"{'span':<28} {'count':>6} {'total ms':>10} {'mean ms':>9} {'max ms':>9} {'share':>6}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['name']:<28} {row['count']:>6} "
+            f"{row['total_s'] * 1000.0:>10.2f} {row['mean_ms']:>9.3f} "
+            f"{row['max_ms']:>9.3f} {row['share'] * 100.0:>5.1f}%"
+        )
     return 0
 
 
@@ -740,6 +853,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "corpus": _cmd_corpus,
         "serve": _cmd_serve,
         "bench": _cmd_bench,
+        "trace": _cmd_trace,
     }[args.command]
     try:
         return handler(args)

@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..drc.checker import segments_parallel_conflict
 from ..geometry import (
     Frame,
@@ -166,21 +167,48 @@ class TraceExtender:
             if index is None:
                 continue
             iterations += 1
-            outcome = self._extend_segment(path, index, trace.width, need)
-            if outcome is None:
-                continue
-            chain, applied = outcome
-            candidate = path.replace_segment(index, chain)
-            if cfg.verify_after_apply and self._conflicts(
-                candidate, index, len(chain), trace.width
-            ):
-                rollbacks += 1
-                continue
-            path = candidate
-            patterns_applied += len(applied)
-            ltrace = path.length()
-            for seg in chain_new_segments(chain):
-                queue.append(_segment_key(seg))
+            obs.REGISTRY.inc("repro_extension_iterations_total")
+            # The ROADMAP-requested per-iteration breakdown: one span per
+            # DP attempt, attributed with candidate count (set inside
+            # _extend_segment via annotate) and the DTW calls the
+            # iteration triggered.  ``live`` gates the registry reads so
+            # the untraced hot loop never pays for them.
+            with obs.span("extension.iteration", iteration=iterations, need=need) as sp:
+                dtw_before = (
+                    obs.REGISTRY.value("repro_dtw_calls_total") if sp.live else 0.0
+                )
+                outcome = self._extend_segment(path, index, trace.width, need)
+                if sp.live:
+                    sp.set(
+                        dtw_calls=int(
+                            obs.REGISTRY.value("repro_dtw_calls_total") - dtw_before
+                        )
+                    )
+                if outcome is None:
+                    if sp.live:
+                        sp.set(applied=False, gain=0.0)
+                    continue
+                chain, applied = outcome
+                candidate = path.replace_segment(index, chain)
+                if cfg.verify_after_apply and self._conflicts(
+                    candidate, index, len(chain), trace.width
+                ):
+                    rollbacks += 1
+                    if sp.live:
+                        sp.set(applied=False, gain=0.0, rollback=True)
+                    continue
+                new_length = candidate.length()
+                if sp.live:
+                    sp.set(
+                        applied=True,
+                        patterns=len(applied),
+                        gain=new_length - ltrace,
+                    )
+                path = candidate
+                patterns_applied += len(applied)
+                ltrace = new_length
+                for seg in chain_new_segments(chain):
+                    queue.append(_segment_key(seg))
 
         # Finishing stage: a residual below 2*h_min cannot be closed by any
         # legal convex pattern (each gains at least 2*d_protect), but a
@@ -390,6 +418,9 @@ class TraceExtender:
         dp_cfg = self._dp_config(seg, width, need)
         if dp_cfg is None:
             return None
+        # DP size = candidate count of this iteration's span (no-op when
+        # tracing is off).
+        obs.annotate(candidates=dp_cfg.n, segment_length=seg.length())
         envs = self._environments(path, index, width, dp_cfg)
         dp = SegmentDP(dp_cfg, envs)
         result = dp.run()

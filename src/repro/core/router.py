@@ -16,6 +16,7 @@ import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence
 
+from .. import obs
 from ..dtw import convert_pair, restore_pair
 from ..model import Board, DesignRules, DifferentialPair, MatchGroup, Trace
 from .extension import ExtensionConfig, TraceExtender
@@ -144,9 +145,17 @@ class LengthMatchingRouter:
                     runtime=0.0,
                 )
             elif isinstance(member, DifferentialPair):
-                member_report = self._match_pair(member, target, tolerance=tol)
+                with obs.span(
+                    "router.match_pair", member=member.name, group=group.name
+                ) as sp:
+                    member_report = self._match_pair(member, target, tolerance=tol)
+                    sp.set(iterations=member_report.iterations)
             else:
-                member_report = self._match_trace(member, target, tolerance=tol)
+                with obs.span(
+                    "router.match_trace", member=member.name, group=group.name
+                ) as sp:
+                    member_report = self._match_trace(member, target, tolerance=tol)
+                    sp.set(iterations=member_report.iterations)
             report.members.append(member_report)
             if on_member is not None:
                 on_member(member_report)

@@ -28,10 +28,12 @@ Two implementations live here:
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..geometry import Point
+from ..obs.metrics import REGISTRY as _METRICS
 
 _INF = float("inf")
 
@@ -79,16 +81,24 @@ def dtw_match(
     a full-recurrence fallback when the corridor would not pay.  The
     returned matching is the reference optimum either way.
     """
-    I, J = len(nodes_p), len(nodes_q)
-    if I == 0 or J == 0:
-        return [], 0.0
-    if band is not None and _BAND_MIN_CELLS <= I * J <= _BAND_MAX_CELLS:
-        banded = _dtw_match_banded(nodes_p, nodes_q, band)
-        if banded is not None:
-            return banded
-    result = _dtw_sweep(nodes_p, nodes_q, None)
-    assert result is not None  # the full window is always connected
-    return result
+    # Always-on observability (counter + latency histogram, ~1 µs —
+    # every non-trivial call runs a DP orders of magnitude costlier);
+    # extension iterations read the counter to attribute DTW work.
+    _METRICS.inc("repro_dtw_calls_total")
+    _t0 = time.perf_counter()
+    try:
+        I, J = len(nodes_p), len(nodes_q)
+        if I == 0 or J == 0:
+            return [], 0.0
+        if band is not None and _BAND_MIN_CELLS <= I * J <= _BAND_MAX_CELLS:
+            banded = _dtw_match_banded(nodes_p, nodes_q, band)
+            if banded is not None:
+                return banded
+        result = _dtw_sweep(nodes_p, nodes_q, None)
+        assert result is not None  # the full window is always connected
+        return result
+    finally:
+        _METRICS.observe("repro_dtw_seconds", time.perf_counter() - _t0)
 
 
 # -- the rolling-row core ---------------------------------------------------------------

@@ -41,6 +41,7 @@ import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional, Tuple
 
+from ..obs.metrics import REGISTRY as _METRICS
 from .invariants import VOLATILE_REPORT_KEYS, stable_report, stable_report_bytes
 from .plan import FaultInjected, FaultPlan, FaultSpec
 
@@ -112,7 +113,13 @@ def decide(site: str, **context: Any) -> Optional[FaultSpec]:
     plan = active_plan()
     if plan is None:
         return None
-    return plan.decide(site, **context)
+    spec = plan.decide(site, **context)
+    if spec is not None:
+        # Every fire — whatever the mode, whoever interprets it — goes
+        # through here, so this one counter is the complete record of
+        # injected chaos (surfaced at ``GET /metrics``).
+        _METRICS.inc("repro_fault_fires_total", site=site, mode=spec.mode)
+    return spec
 
 
 def perform(spec: FaultSpec, site: str) -> None:

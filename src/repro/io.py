@@ -397,7 +397,7 @@ def drc_report_from_dict(data: Dict[str, Any]) -> DrcReport:
 
 def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
     """The full run artifact as a JSON-serialisable dictionary."""
-    return {
+    out = {
         "version": RESULT_FORMAT_VERSION,
         #: Which library version produced the artifact — provenance only,
         #: never validated on load (older/newer artifacts stay loadable).
@@ -421,6 +421,12 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
         "status": result.status,
         "error": copy.deepcopy(result.error),
     }
+    if result.trace_ref is not None:
+        # Emitted only when set: untraced artifacts (and every cached
+        # entry — the server never sets it) stay byte-identical to
+        # pre-observability ones.
+        out["trace_ref"] = result.trace_ref
+    return out
 
 
 def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
@@ -453,6 +459,8 @@ def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
         drc=drc,
         runtime=data.get("runtime", 0.0),
         error=copy.deepcopy(data.get("error")),
+        # Absent in artifacts saved before (or without) tracing.
+        trace_ref=data.get("trace_ref"),
     )
     if "status" in data:
         result.status = data["status"]
@@ -577,3 +585,33 @@ def load_corpus_report(path: str) -> Dict[str, Any]:
     """Read a corpus aggregate report from a JSON file."""
     with open(path, "r", encoding="utf-8") as fh:
         return corpus_report_from_dict(json.load(fh))
+
+
+# ---------------------------------------------------------------------------
+# Trace artifacts (repro.obs)
+#
+# Imported lazily: io is on the critical import path of nearly every
+# module, and obs pulls in nothing heavy, but keeping the dependency
+# one-directional (io -> obs only inside these helpers) avoids any
+# chance of an import cycle as obs instruments more of the codebase.
+
+
+def save_trace(trace, path: str) -> str:
+    """Write a :class:`repro.obs.Trace` (or an already-serialized trace
+    document) to ``path`` atomically; returns the path."""
+    doc = trace if isinstance(trace, dict) else trace.to_dict()
+    if doc.get("kind") != "trace":
+        raise ValueError(f"not a trace document (kind: {doc.get('kind')!r})")
+    return _atomic_write_text(path, json.dumps(doc, indent=2) + "\n")
+
+
+def load_trace(path: str):
+    """Read a trace artifact back as a :class:`repro.obs.Trace`.
+
+    Raises :class:`ValueError` on a document of another kind or an
+    unsupported trace format version.
+    """
+    from .obs.tracing import Trace as _ObsTrace
+
+    with open(path, "r", encoding="utf-8") as fh:
+        return _ObsTrace.from_dict(json.load(fh))

@@ -1,0 +1,455 @@
+"""Nested-span tracing with a no-op fast path.
+
+A :class:`Trace` is an explicit, per-run collection of spans.  Nothing
+is recorded unless some caller *activates* a trace — either with the
+:func:`trace` context manager (CLI ``--trace``, server ``--trace-dir``,
+bench breakdown phase) or by adopting an existing trace in a helper
+thread via :func:`use_trace`.  Instrumentation sites call
+:func:`span` / :func:`annotate` / :func:`record` unconditionally; when
+no trace is active those return a shared no-op object whose cost is a
+thread-local read plus one call (well under the 5 µs budget asserted in
+``tests/obs``), so the hot paths stay uninstrumented-speed in
+production.
+
+Activation is *thread-local*: a trace started on the request thread is
+invisible to other requests.  Threads spawned on behalf of a traced
+operation (deadline helpers, NDJSON pumps) opt in explicitly with
+``use_trace(parent)``.  Each thread keeps its own open-span stack
+inside the trace, so a helper thread's spans parent onto the trace root
+rather than racing the owning thread's stack.
+
+Worker processes can't share a collector, so the executor arms them
+through the ``REPRO_OBS_TRACE`` environment variable: the worker runs
+under its own local trace and ships ``Trace.to_dict()`` home with the
+result, and the parent splices it into the live trace with
+:meth:`Trace.graft`.  Grafted span start offsets stay relative to the
+*worker's* clock (monotonic clocks don't compare across processes);
+grafted roots are tagged ``grafted=True`` so consumers know.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .._version import __version__
+
+#: When set (to anything non-empty) in a worker process's environment,
+#: ``api.executor`` workers run each board under a local trace and ship
+#: it back with the result.
+ENV_VAR = "REPRO_OBS_TRACE"
+
+#: Format version of the serialized trace document.
+TRACE_FORMAT_VERSION = 1
+
+TRACE_KIND = "trace"
+
+_state = threading.local()
+
+_trace_ids = itertools.count(1)
+
+
+def _new_trace_id() -> str:
+    """Process-unique, human-greppable trace id.
+
+    Wall-clock prefix keeps ids from colliding across processes that
+    write into one ``--trace-dir``; the counter disambiguates within a
+    process.
+    """
+    return "t%x-%d" % (int(time.time() * 1000) & 0xFFFFFFFFFF, next(_trace_ids))
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned when no trace is active."""
+
+    __slots__ = ()
+    live = False
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One timed, attributed node in a trace tree.
+
+    ``start_s`` is seconds since the owning trace began (monotonic
+    clock); ``duration_s`` is filled on exit.  Use as a context
+    manager; :meth:`set` adds/overwrites attributes while open.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "attrs", "start_s", "duration_s", "_trace", "_t0")
+
+    live = True
+
+    def __init__(
+        self,
+        trace: "Trace",
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        attrs: Dict[str, Any],
+        start_s: float,
+    ) -> None:
+        self._trace = trace
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.start_s = start_s
+        self.duration_s: Optional[float] = None
+        self._t0 = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._t0 = time.perf_counter()
+        self._trace._push(self)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.duration_s = time.perf_counter() - self._t0
+        self._trace._pop(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": self.attrs,
+        }
+
+
+class Trace:
+    """A per-run collection of spans, serializable to a JSON document.
+
+    Span ids are small integers local to the trace; span order in
+    ``spans`` is start order.  All mutation goes through a lock so
+    helper threads adopting the trace stay safe; each thread has its
+    own open-span stack and orphan spans parent onto the root.
+    """
+
+    def __init__(self, name: str, trace_id: Optional[str] = None) -> None:
+        self.name = name
+        self.trace_id = trace_id or _new_trace_id()
+        self.started_unix = time.time()
+        self.spans: List[Span] = []
+        self._t0 = time.perf_counter()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._stacks: Dict[int, List[Span]] = {}
+        self._root_id: Optional[int] = None
+
+    # -- span plumbing -------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _parent_id(self) -> Optional[int]:
+        stack = self._stacks.get(threading.get_ident())
+        if stack:
+            return stack[-1].span_id
+        return self._root_id
+
+    def span(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> Span:
+        """Create an *unstarted* span; enter it to start the clock."""
+        with self._lock:
+            return Span(
+                self,
+                span_id=next(self._ids),
+                parent_id=self._parent_id(),
+                name=name,
+                attrs=dict(attrs or ()),
+                start_s=self._now(),
+            )
+
+    def _push(self, span: Span) -> None:
+        with self._lock:
+            span.start_s = self._now()
+            if self._root_id is None:
+                self._root_id = span.span_id
+            self.spans.append(span)
+            self._stacks.setdefault(threading.get_ident(), []).append(span)
+
+    def _pop(self, span: Span) -> None:
+        with self._lock:
+            stack = self._stacks.get(threading.get_ident())
+            if stack and span in stack:
+                while stack and stack.pop() is not span:
+                    pass
+
+    def current_span(self) -> Optional[Span]:
+        with self._lock:
+            stack = self._stacks.get(threading.get_ident())
+            return stack[-1] if stack else None
+
+    def record(self, name: str, duration_s: float, **attrs: Any) -> Span:
+        """Add an already-timed span (e.g. measured across a process
+        boundary) under the calling thread's current span."""
+        with self._lock:
+            span = Span(
+                self,
+                span_id=next(self._ids),
+                parent_id=self._parent_id(),
+                name=name,
+                attrs=dict(attrs),
+                start_s=max(0.0, self._now() - duration_s),
+            )
+            span.duration_s = duration_s
+            if self._root_id is None:
+                self._root_id = span.span_id
+            self.spans.append(span)
+            return span
+
+    # -- cross-process splicing ----------------------------------------
+
+    def graft(self, child: Dict[str, Any], parent_id: Optional[int] = None) -> None:
+        """Splice a serialized worker trace under ``parent_id`` (or the
+        calling thread's current span).
+
+        Ids are remapped into this trace's id space.  Start offsets are
+        kept relative to the worker's own clock and the grafted root(s)
+        are tagged ``grafted=True`` — monotonic clocks don't compare
+        across processes, so pretending otherwise would lie.
+        """
+        with self._lock:
+            if parent_id is None:
+                parent_id = self._parent_id()
+            remap: Dict[int, int] = {}
+            grafted: List[Span] = []
+            for rec in child.get("spans", ()):
+                new_id = next(self._ids)
+                remap[int(rec["id"])] = new_id
+                old_parent = rec.get("parent")
+                if old_parent is None:
+                    new_parent: Optional[int] = parent_id
+                else:
+                    new_parent = remap.get(int(old_parent), parent_id)
+                attrs = dict(rec.get("attrs") or ())
+                if old_parent is None:
+                    attrs["grafted"] = True
+                    attrs.setdefault("worker_trace", child.get("trace_id"))
+                span = Span(
+                    self,
+                    span_id=new_id,
+                    parent_id=new_parent,
+                    name=str(rec["name"]),
+                    attrs=attrs,
+                    start_s=float(rec.get("start_s") or 0.0),
+                )
+                span.duration_s = rec.get("duration_s")
+                grafted.append(span)
+            self.spans.extend(grafted)
+
+    # -- serialization -------------------------------------------------
+
+    def duration_s(self) -> float:
+        with self._lock:
+            if self.spans:
+                root = self.spans[0]
+                if root.duration_s is not None:
+                    return root.duration_s
+            return self._now()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": TRACE_KIND,
+            "version": TRACE_FORMAT_VERSION,
+            "repro_version": __version__,
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "started_unix": self.started_unix,
+            "duration_s": self.duration_s(),
+            "spans": [s.to_dict() for s in self.spans],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Trace":
+        if data.get("kind") != TRACE_KIND:
+            raise ValueError(f"not a trace document: kind={data.get('kind')!r}")
+        version = data.get("version")
+        if version != TRACE_FORMAT_VERSION:
+            raise ValueError(f"unsupported trace version: {version!r}")
+        trace = cls(str(data.get("name", "")), trace_id=str(data["trace_id"]))
+        trace.started_unix = float(data.get("started_unix") or 0.0)
+        max_id = 0
+        for rec in data.get("spans", ()):
+            span = Span(
+                trace,
+                span_id=int(rec["id"]),
+                parent_id=rec.get("parent"),
+                name=str(rec["name"]),
+                attrs=dict(rec.get("attrs") or ()),
+                start_s=float(rec.get("start_s") or 0.0),
+            )
+            span.duration_s = rec.get("duration_s")
+            trace.spans.append(span)
+            max_id = max(max_id, span.span_id)
+        trace._ids = itertools.count(max_id + 1)
+        if trace.spans:
+            trace._root_id = trace.spans[0].span_id
+        return trace
+
+
+# -- module-level surface ----------------------------------------------
+
+
+def current_trace() -> Optional[Trace]:
+    """The trace active on this thread, or ``None``."""
+    return getattr(_state, "trace", None)
+
+
+def enabled() -> bool:
+    """True when a trace is active on this thread."""
+    return getattr(_state, "trace", None) is not None
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the active trace; no-op when tracing is off."""
+    t = getattr(_state, "trace", None)
+    if t is None:
+        return NOOP_SPAN
+    return t.span(name, attrs)
+
+
+def annotate(**attrs: Any) -> None:
+    """Add attributes to the innermost open span, if any."""
+    t = getattr(_state, "trace", None)
+    if t is None:
+        return
+    current = t.current_span()
+    if current is not None:
+        current.attrs.update(attrs)
+
+
+def record(name: str, duration_s: float, **attrs: Any) -> Optional[Span]:
+    """Record an already-timed span on the active trace, if any."""
+    t = getattr(_state, "trace", None)
+    if t is None:
+        return None
+    return t.record(name, duration_s, **attrs)
+
+
+class _TraceContext:
+    """Context manager returned by :func:`trace`: activates a fresh
+    trace on this thread and opens its root span."""
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.trace = Trace(name)
+        self._attrs = attrs
+        self._prev: Optional[Trace] = None
+        self._root: Optional[Span] = None
+
+    def __enter__(self) -> Trace:
+        self._prev = getattr(_state, "trace", None)
+        _state.trace = self.trace
+        self._root = self.trace.span(self.trace.name, self._attrs)
+        self._root.__enter__()
+        return self.trace
+
+    def __exit__(self, *exc: object) -> None:
+        if self._root is not None:
+            self._root.__exit__(*exc)
+        _state.trace = self._prev
+
+
+def trace(name: str, **attrs: Any) -> _TraceContext:
+    """Activate a new trace (with a root span) on this thread::
+
+        with obs.trace("route board7") as t:
+            ...
+        io.save_trace(t, "trace.json")
+    """
+    return _TraceContext(name, attrs)
+
+
+class _UseTrace:
+    """Adopt an existing trace on this thread (helper threads)."""
+
+    def __init__(self, trace: Optional[Trace]) -> None:
+        self._trace = trace
+        self._prev: Optional[Trace] = None
+
+    def __enter__(self) -> Optional[Trace]:
+        self._prev = getattr(_state, "trace", None)
+        if self._trace is not None:
+            _state.trace = self._trace
+        return self._trace
+
+    def __exit__(self, *exc: object) -> None:
+        _state.trace = self._prev
+
+
+def use_trace(trace: Optional[Trace]) -> _UseTrace:
+    """Adopt ``trace`` for the duration of the block; pass the parent
+    thread's :func:`current_trace` result into worker threads.  A
+    ``None`` trace makes the block a no-op, so callers can hand over
+    ``current_trace()`` unconditionally."""
+    return _UseTrace(trace)
+
+
+# -- summaries ---------------------------------------------------------
+
+
+def aggregate_spans(doc: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Aggregate a serialized trace per span name.
+
+    Returns rows sorted by total time descending:
+    ``{name, count, total_s, mean_ms, max_ms, share}`` where ``share``
+    is the fraction of the root span's duration (``None`` if unknown).
+    """
+    rows: Dict[str, Dict[str, Any]] = {}
+    spans = list(doc.get("spans", ()))
+    root_s = None
+    if spans:
+        root_s = spans[0].get("duration_s") or doc.get("duration_s")
+    for rec in spans:
+        dur = rec.get("duration_s")
+        if dur is None:
+            continue
+        row = rows.setdefault(
+            rec["name"], {"name": rec["name"], "count": 0, "total_s": 0.0, "max_ms": 0.0}
+        )
+        row["count"] += 1
+        row["total_s"] += dur
+        row["max_ms"] = max(row["max_ms"], dur * 1000.0)
+    out = []
+    for row in rows.values():
+        row["mean_ms"] = row["total_s"] / row["count"] * 1000.0
+        row["share"] = (row["total_s"] / root_s) if root_s else None
+        out.append(row)
+    out.sort(key=lambda r: r["total_s"], reverse=True)
+    return out
+
+
+def iter_tree(doc: Dict[str, Any]) -> Iterator[Tuple[int, Dict[str, Any]]]:
+    """Yield ``(depth, span_record)`` in depth-first start order for a
+    serialized trace — the shape ``repro trace summarize --tree`` prints."""
+    spans = list(doc.get("spans", ()))
+    children: Dict[Optional[int], List[Dict[str, Any]]] = {}
+    by_id = {rec["id"]: rec for rec in spans}
+    for rec in spans:
+        parent = rec.get("parent")
+        if parent is not None and parent not in by_id:
+            parent = None
+        children.setdefault(parent, []).append(rec)
+
+    def walk(parent: Optional[int], depth: int) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        for rec in children.get(parent, ()):
+            yield depth, rec
+            yield from walk(rec["id"], depth + 1)
+
+    return walk(None, 0)

@@ -18,12 +18,13 @@ that.
 from __future__ import annotations
 
 import json
+import os
 import queue
 import threading
 import time
 from typing import Any, Dict, Iterator, Optional, Tuple
 
-from .. import faults
+from .. import faults, obs
 from .._version import __version__
 from ..api import RoutingSession, SessionConfig
 from ..api.executor import run_batch
@@ -35,6 +36,7 @@ from ..io import (
     corpus_report_to_dict,
     drc_report_to_dict,
     run_result_to_dict,
+    save_trace,
 )
 
 #: RunResult.status → HTTP status for single-board responses.  Batch
@@ -68,6 +70,7 @@ class RouterApp:
         workers: Optional[int] = None,
         cache_max_bytes: int = DEFAULT_MAX_BYTES,
         request_deadline: Optional[float] = None,
+        trace_dir: Optional[str] = None,
     ) -> None:
         self.cache = ResultCache(cache_dir, max_bytes=cache_max_bytes)
         #: Default worker-process count for batch requests (a request
@@ -76,6 +79,14 @@ class RouterApp:
         #: Per-request wall-clock budget for single-answer endpoints
         #: (``/route`` one-board, ``/check``); ``None`` = unbounded.
         self.request_deadline = request_deadline
+        #: When set, every request runs under its own ``repro.obs``
+        #: trace, written here as ``<trace_id>.json`` and echoed back in
+        #: the ``X-Repro-Trace`` response header.  ``None`` (the
+        #: default) keeps request handling on the no-op span fast path.
+        self.trace_dir = trace_dir
+        #: Per-app registry (request counters and latencies), merged
+        #: with the cache's and the process-global one at /metrics.
+        self.metrics = obs.MetricsRegistry()
         self._started = time.time()
         self._lock = threading.Lock()
         self._requests: Dict[str, int] = {}
@@ -90,6 +101,22 @@ class RouterApp:
     def _count(self, endpoint: str) -> None:
         with self._lock:
             self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+        self.metrics.inc("repro_requests_total", endpoint=endpoint)
+
+    def observe_request(self, endpoint: str, seconds: float) -> None:
+        """Record one request's wall-clock (the transport calls this
+        for every answered request, whatever the outcome)."""
+        self.metrics.observe("repro_request_seconds", seconds, endpoint=endpoint)
+
+    def request_trace(self, path: str):
+        """Context manager activating a per-request trace when
+        :attr:`trace_dir` is set (yields the live
+        :class:`~repro.obs.Trace`), and a no-op yielding ``None``
+        otherwise — request handling stays on the span fast path unless
+        an operator opted in with ``serve --trace-dir``."""
+        if self.trace_dir is None:
+            return obs.use_trace(None)
+        return _RequestTrace(self, path)
 
     # -- graceful shutdown ---------------------------------------------------
 
@@ -154,10 +181,14 @@ class RouterApp:
         if self.request_deadline is None:
             return fn()
         box: Dict[str, Any] = {}
+        # Collectors are thread-local; the helper adopts the request
+        # thread's trace so the pipeline's spans land in it.
+        parent_trace = obs.current_trace()
 
         def call() -> None:
             try:
-                box["value"] = fn()
+                with obs.use_trace(parent_trace):
+                    box["value"] = fn()
             except BaseException as exc:  # re-raised on the request thread
                 box["error"] = exc
 
@@ -272,6 +303,8 @@ class RouterApp:
             "kind": "healthz_response",
             "ok": True,
             "version": __version__,
+            "repro_version": __version__,
+            "uptime_s": time.time() - self._started,
             "cache": "degraded" if self.cache.degraded is not None else "ok",
             "draining": self._draining,
         }
@@ -283,11 +316,40 @@ class RouterApp:
         return 200, {
             "kind": "stats_response",
             "version": __version__,
+            "repro_version": __version__,
             "uptime_s": time.time() - self._started,
             "workers": self.workers,
             "requests": requests,
             "cache": self.cache.stats(),
+            # Counter values plus histogram count/sum/p50/p90/p99 — the
+            # JSON view of what /metrics serves in Prometheus format.
+            "metrics": {
+                "app": self.metrics.snapshot(),
+                "cache": self.cache.metrics.snapshot(),
+                "process": obs.REGISTRY.snapshot(),
+            },
         }
+
+    def metrics_text(self) -> Tuple[int, str]:
+        """``GET /metrics``: Prometheus text exposition.
+
+        Three registries concatenated — this app's request counters and
+        latencies, its cache's hit/miss/eviction family, and the
+        process-global registry (stage/DTW latencies, extension
+        iterations, fault fires) — plus build/uptime gauges.  Metric
+        names are disjoint across the three by construction.
+        """
+        self._count("metrics")
+        preamble = (
+            "# TYPE repro_build_info gauge\n"
+            f'repro_build_info{{version="{__version__}"}} 1\n'
+            "# TYPE repro_uptime_seconds gauge\n"
+            f"repro_uptime_seconds {time.time() - self._started:.3f}\n"
+        )
+        body = preamble + obs.render_prometheus(
+            self.metrics, self.cache.metrics, obs.REGISTRY
+        )
+        return 200, body
 
     def result(self, key: str) -> Tuple[int, Dict[str, Any]]:
         """A cached artifact by content address (404 when absent).
@@ -445,14 +507,17 @@ class RouterApp:
                         )
                     )
 
+                parent_trace = obs.current_trace()
+
                 def run() -> None:
                     try:
-                        run_batch(
-                            miss_boards,
-                            config=config,
-                            workers=workers,
-                            on_board_done=on_board_done,
-                        )
+                        with obs.use_trace(parent_trace):
+                            run_batch(
+                                miss_boards,
+                                config=config,
+                                workers=workers,
+                                on_board_done=on_board_done,
+                            )
                     finally:
                         events.put(None)
 
@@ -547,21 +612,23 @@ class RouterApp:
                 )
 
             outcome: Dict[str, Any] = {}
+            parent_trace = obs.current_trace()
 
             def run() -> None:
                 try:
-                    kwargs: Dict[str, Any] = dict(
+                    with obs.use_trace(parent_trace):
+                        kwargs: Dict[str, Any] = dict(
                         scenarios=names,
                         seeds=seeds,
                         quick=quick,
                         preset=preset,
                         workers=workers,
                         cache=self.cache,
-                        on_case=on_case,
-                    )
-                    if gate is not None:
-                        kwargs["gate"] = float(gate)
-                    outcome["report"] = run_corpus(**kwargs)
+                            on_case=on_case,
+                        )
+                        if gate is not None:
+                            kwargs["gate"] = float(gate)
+                        outcome["report"] = run_corpus(**kwargs)
                 except Exception as exc:  # surfaced as the final event
                     outcome["error"] = exc
                 finally:
@@ -591,6 +658,43 @@ class RouterApp:
         return generate()
 
 
+class _RequestTrace:
+    """One request's trace: opened around dispatch, saved on exit.
+
+    Write failures are swallowed — a full disk on the trace volume must
+    not fail the request it was meant to observe.
+    """
+
+    def __init__(self, app: RouterApp, path: str) -> None:
+        self._app = app
+        self._ctx = obs.trace(f"request {path}", path=path)
+
+    def __enter__(self):
+        return self._ctx.__enter__()
+
+    def __exit__(self, *exc) -> None:
+        self._ctx.__exit__(*exc)
+        trace = self._ctx.trace
+        try:
+            os.makedirs(self._app.trace_dir, exist_ok=True)
+            save_trace(
+                trace,
+                os.path.join(self._app.trace_dir, f"{trace.trace_id}.json"),
+            )
+        except OSError:
+            pass
+
+
+def _endpoint_name(path: str) -> str:
+    """The latency-metric label for a request path (``/result/<key>``
+    collapses to ``result`` — content keys must not explode the label
+    space)."""
+    if path.startswith("/result/"):
+        return "result"
+    name = path.lstrip("/").split("/", 1)[0].split("?", 1)[0]
+    return name or "root"
+
+
 # -- the HTTP adapter -------------------------------------------------------
 
 
@@ -607,6 +711,13 @@ def _make_handler_class(app: RouterApp, quiet: bool):
 
         # -- wire helpers ---------------------------------------------------
 
+        def _send_trace_header(self) -> None:
+            # Echo the live request trace's id so a client can pair its
+            # response with the artifact in --trace-dir.
+            trace = obs.current_trace()
+            if trace is not None:
+                self.send_header("X-Repro-Trace", trace.trace_id)
+
         def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
             body = json.dumps(payload, separators=(",", ":")).encode(
                 "utf-8"
@@ -614,6 +725,18 @@ def _make_handler_class(app: RouterApp, quiet: bool):
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            self._send_trace_header()
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_text(self, status: int, text: str) -> None:
+            body = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self._send_trace_header()
             self.end_headers()
             self.wfile.write(body)
 
@@ -624,6 +747,7 @@ def _make_handler_class(app: RouterApp, quiet: bool):
             self.send_response(200)
             self.send_header("Content-Type", "application/x-ndjson")
             self.send_header("Connection", "close")
+            self._send_trace_header()
             self.end_headers()
             self.close_connection = True
             for event in events:
@@ -701,26 +825,33 @@ def _make_handler_class(app: RouterApp, quiet: bool):
                 return
             except BrokenPipeError:
                 return
+            started = time.perf_counter()
             try:
-                if self.path == "/healthz":
-                    self._send_json(*app.healthz())
-                elif self.path == "/stats":
-                    self._send_json(*app.stats())
-                elif self.path.startswith("/result/"):
-                    key = self.path[len("/result/") :]
-                    self._send_json(*app.result(key))
-                else:
-                    self._send_json(
-                        404,
-                        _error_envelope(
-                            RequestError(f"unknown path {self.path}")
-                        ),
-                    )
+                with app.request_trace(self.path):
+                    if self.path == "/healthz":
+                        self._send_json(*app.healthz())
+                    elif self.path == "/stats":
+                        self._send_json(*app.stats())
+                    elif self.path == "/metrics":
+                        self._send_text(*app.metrics_text())
+                    elif self.path.startswith("/result/"):
+                        key = self.path[len("/result/") :]
+                        self._send_json(*app.result(key))
+                    else:
+                        self._send_json(
+                            404,
+                            _error_envelope(
+                                RequestError(f"unknown path {self.path}")
+                            ),
+                        )
             except BrokenPipeError:
                 pass
             except Exception as exc:  # a handler bug must not kill the thread
                 self._send_json(500, _error_envelope(exc))
             finally:
+                app.observe_request(
+                    _endpoint_name(self.path), time.perf_counter() - started
+                )
                 app.exit_request()
 
         def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
@@ -733,24 +864,26 @@ def _make_handler_class(app: RouterApp, quiet: bool):
                 return
             except BrokenPipeError:
                 return
+            started = time.perf_counter()
             try:
-                payload = self._read_payload()
-                if self.path == "/route":
-                    if "boards" in payload:
-                        self._send_ndjson(app.route_batch_events(payload))
+                with app.request_trace(self.path):
+                    payload = self._read_payload()
+                    if self.path == "/route":
+                        if "boards" in payload:
+                            self._send_ndjson(app.route_batch_events(payload))
+                        else:
+                            self._send_json(*app.route(payload))
+                    elif self.path == "/check":
+                        self._send_json(*app.check(payload))
+                    elif self.path == "/corpus":
+                        self._send_ndjson(app.corpus_events(payload))
                     else:
-                        self._send_json(*app.route(payload))
-                elif self.path == "/check":
-                    self._send_json(*app.check(payload))
-                elif self.path == "/corpus":
-                    self._send_ndjson(app.corpus_events(payload))
-                else:
-                    self._send_json(
-                        404,
-                        _error_envelope(
-                            RequestError(f"unknown path {self.path}")
-                        ),
-                    )
+                        self._send_json(
+                            404,
+                            _error_envelope(
+                                RequestError(f"unknown path {self.path}")
+                            ),
+                        )
             except RequestError as exc:
                 self._send_json(400, _error_envelope(exc))
             except BrokenPipeError:
@@ -761,6 +894,9 @@ def _make_handler_class(app: RouterApp, quiet: bool):
                 except Exception:
                     pass
             finally:
+                app.observe_request(
+                    _endpoint_name(self.path), time.perf_counter() - started
+                )
                 app.exit_request()
 
         def log_message(self, format: str, *args: Any) -> None:
@@ -848,6 +984,7 @@ def make_http_server(
     cache_max_bytes: int = DEFAULT_MAX_BYTES,
     quiet: bool = True,
     request_deadline: Optional[float] = None,
+    trace_dir: Optional[str] = None,
 ) -> ReproHTTPServer:
     """A bound daemon fronting a fresh :class:`RouterApp`."""
     app = RouterApp(
@@ -855,6 +992,7 @@ def make_http_server(
         workers=workers,
         cache_max_bytes=cache_max_bytes,
         request_deadline=request_deadline,
+        trace_dir=trace_dir,
     )
     return ReproHTTPServer(app, host=host, port=port, quiet=quiet)
 

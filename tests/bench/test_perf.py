@@ -27,6 +27,7 @@ class TestRunPerfQuick:
             "dtw",
             "drc",
             "extension",
+            "extension_breakdown",
             "session",
             "server",
             "server_faults",
@@ -58,6 +59,25 @@ class TestRunPerfQuick:
         assert all(r["identical"] for r in rows)
         assert all(r["cold_status"] == "ok" for r in rows)
         assert all(r["speedup"] > 3.0 for r in rows)
+
+    def test_extension_breakdown_phase(self, payload):
+        rows = payload["phases"]["extension_breakdown"]
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["iterations"] > 0
+        assert row["per_iteration"]
+        assert row["per_iteration"][0]["duration_ms"] > 0
+        assert row["iteration_ms"]["p99"] >= row["iteration_ms"]["p50"] > 0
+        over = row["overhead"]
+        assert over["disabled_s"] > 0 and over["traced_s"] > 0
+        # The instrumented-but-disabled path must sit within noise of
+        # the uninstrumented baseline (acceptance: < 2% in the committed
+        # full-mode baseline; the quick CI bound is looser because a
+        # single repeat is noisy).
+        assert over["baseline_s"] is not None
+        assert over["disabled_overhead"] < 1.25
+        # One no-op span must stay far under the 5 us budget.
+        assert over["noop_span_us"] < 5.0
 
     def test_server_faults_phase(self, payload):
         rows = payload["phases"]["server_faults"]

@@ -1,0 +1,158 @@
+"""Pipeline instrumentation — spans and metrics from real runs, and the
+invariant that observability never changes what gets computed or keyed."""
+
+import json
+
+import pytest
+
+from repro import RoutingSession, SessionConfig, obs, scenarios
+from repro.cache import cache_key
+from repro.io import board_to_dict, run_result_to_dict
+
+
+def _board(seed=0):
+    return scenarios.generate("serpentine_bus", seed=seed)
+
+
+@pytest.mark.smoke
+class TestSessionSpans:
+    def test_stage_spans_collected(self):
+        with obs.trace("test run") as trace:
+            result = RoutingSession(_board(), "fast").run()
+        assert result.ok()
+        doc = trace.to_dict()
+        names = [s["name"] for s in doc["spans"]]
+        assert "session.run" in names
+        stage_names = {n for n in names if n.startswith("stage.")}
+        assert stage_names == {f"stage.{r.name}" for r in result.stages}
+        run_span = next(s for s in doc["spans"] if s["name"] == "session.run")
+        assert run_span["attrs"]["status"] == "ok"
+        assert run_span["attrs"]["board"] == result.board
+
+    def test_stage_span_status_attr(self):
+        with obs.trace("test run") as trace:
+            result = RoutingSession(_board(), "fast").run()
+        by_name = {s["name"]: s for s in trace.to_dict()["spans"]}
+        for record in result.stages:
+            assert by_name[f"stage.{record.name}"]["attrs"]["status"] == record.status
+
+    def test_extension_iteration_spans(self):
+        with obs.trace("test run") as trace:
+            RoutingSession(_board(), "fast").run()
+        iters = [
+            s for s in trace.to_dict()["spans"]
+            if s["name"] == "extension.iteration"
+        ]
+        assert iters
+        for span in iters:
+            attrs = span["attrs"]
+            assert attrs["iteration"] >= 1
+            assert attrs["need"] > 0
+            assert "dtw_calls" in attrs and "applied" in attrs
+
+    def test_stage_metrics_recorded(self):
+        before = {
+            stage: obs.REGISTRY.value("repro_stage_seconds", stage=stage)
+            for stage in ("match", "drc")
+        }
+        result = RoutingSession(_board(), "fast").run()
+        assert result.ok()
+        for stage in ("match", "drc"):
+            after = obs.REGISTRY.value("repro_stage_seconds", stage=stage)
+            assert after == before[stage] + 1
+
+    def test_extension_counter_advances(self):
+        before = obs.REGISTRY.value("repro_extension_iterations_total")
+        RoutingSession(_board(), "fast").run()
+        assert obs.REGISTRY.value("repro_extension_iterations_total") > before
+
+
+@pytest.mark.smoke
+class TestObservabilityIsInert:
+    """Tracing must not leak into results, fingerprints, or cache keys."""
+
+    def test_fingerprint_identical_tracing_on_vs_off(self):
+        off = SessionConfig.preset("fast").fingerprint()
+        with obs.trace("fp"):
+            on = SessionConfig.preset("fast").fingerprint()
+        assert on == off
+
+    def test_cache_key_identical_tracing_on_vs_off(self):
+        board_dict = board_to_dict(_board())
+        fp = SessionConfig.preset("fast").fingerprint()
+        off = cache_key(board_dict, fp)
+        with obs.trace("key"):
+            on = cache_key(board_to_dict(_board()), fp)
+        assert on == off
+
+    def test_result_dict_identical_tracing_on_vs_off(self):
+        def strip_runtimes(node):
+            # Runtimes (at every nesting level: result, stage, group,
+            # member) are the only legitimate run-to-run difference.
+            if isinstance(node, dict):
+                return {
+                    k: strip_runtimes(v)
+                    for k, v in node.items()
+                    if k != "runtime"
+                }
+            if isinstance(node, list):
+                return [strip_runtimes(v) for v in node]
+            return node
+
+        def normalized():
+            result = RoutingSession(_board(), "fast").run()
+            return strip_runtimes(run_result_to_dict(result))
+
+        off = normalized()
+        with obs.trace("run"):
+            on = normalized()
+        assert json.dumps(on, sort_keys=True) == json.dumps(off, sort_keys=True)
+
+    def test_trace_ref_absent_unless_set(self):
+        result = RoutingSession(_board(), "fast").run()
+        assert "trace_ref" not in run_result_to_dict(result)
+        result.trace_ref = "somewhere/trace.json"
+        assert run_result_to_dict(result)["trace_ref"] == "somewhere/trace.json"
+
+
+class TestExecutorSpans:
+    def test_parallel_batch_grafts_worker_traces(self):
+        boards = [_board(seed=s) for s in (0, 1)]
+        with obs.trace("batch") as trace:
+            results = RoutingSession.run_many(boards, config="fast", workers=2)
+        assert all(r.status == "ok" for r in results)
+        doc = trace.to_dict()
+        by_name = {}
+        for span in doc["spans"]:
+            by_name.setdefault(span["name"], []).append(span)
+        assert len(by_name["executor.board"]) == 2
+        assert len(by_name["executor.submit"]) == 2
+        # One grafted worker root per board, each parented on its
+        # executor.board span and carrying the worker's session spans.
+        grafted = [
+            s for s in doc["spans"] if (s.get("attrs") or {}).get("grafted")
+        ]
+        assert len(grafted) == 2
+        board_ids = {s["id"] for s in by_name["executor.board"]}
+        assert all(g["parent"] in board_ids for g in grafted)
+        assert len(by_name["session.run"]) == 2
+
+    def test_serial_batch_spans(self):
+        boards = [_board(seed=s) for s in (0, 1)]
+        with obs.trace("batch") as trace:
+            results = RoutingSession.run_many(boards, config="fast")
+        assert all(r.status == "ok" for r in results)
+        names = [s["name"] for s in trace.to_dict()["spans"]]
+        assert names.count("executor.board") == 2
+        assert names.count("session.run") == 2
+
+    def test_untraced_batch_ships_no_traces(self):
+        import os
+
+        from repro.obs import ENV_VAR
+
+        assert os.environ.get(ENV_VAR) is None
+        boards = [_board(seed=s) for s in (0, 1)]
+        results = RoutingSession.run_many(boards, config="fast", workers=2)
+        assert all(r.status == "ok" for r in results)
+        assert os.environ.get(ENV_VAR) is None

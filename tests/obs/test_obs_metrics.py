@@ -1,0 +1,120 @@
+"""repro.obs metrics — counters, histograms, Prometheus rendering."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, render_prometheus
+from repro.obs.metrics import percentile
+
+
+@pytest.mark.smoke
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        reg.inc("jobs_total")
+        reg.inc("jobs_total", 2)
+        assert reg.value("jobs_total") == 3.0
+
+    def test_labels(self):
+        reg = MetricsRegistry()
+        reg.inc("req_total", endpoint="route")
+        reg.inc("req_total", endpoint="route")
+        reg.inc("req_total", endpoint="stats")
+        assert reg.value("req_total", endpoint="route") == 2.0
+        assert reg.value("req_total", endpoint="stats") == 1.0
+        assert reg.counter("req_total", labelnames=("endpoint",)).total() == 3.0
+
+    def test_negative_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.inc("x_total", -1)
+
+    def test_label_shape_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.inc("y_total", endpoint="a")
+        with pytest.raises(ValueError):
+            reg.inc("y_total", other="b")
+
+    def test_unknown_value_is_zero(self):
+        assert MetricsRegistry().value("never_seen_total") == 0.0
+
+
+@pytest.mark.smoke
+class TestHistogram:
+    def test_observe_and_quantiles(self):
+        reg = MetricsRegistry()
+        for ms in range(1, 101):
+            reg.observe("latency_seconds", ms / 1000.0)
+        hist = reg.histogram("latency_seconds")
+        q = hist.quantiles()
+        assert q["p50"] == pytest.approx(0.050, abs=0.005)
+        assert q["p90"] == pytest.approx(0.090, abs=0.005)
+        assert q["p99"] == pytest.approx(0.099, abs=0.005)
+        assert hist.count() == 100
+
+    def test_labeled_histograms(self):
+        reg = MetricsRegistry()
+        reg.observe("stage_seconds", 0.1, stage="match")
+        reg.observe("stage_seconds", 0.2, stage="drc")
+        snap = reg.snapshot()["stage_seconds"]
+        assert snap["type"] == "histogram"
+        assert snap["values"]["match"]["count"] == 1
+        assert snap["values"]["drc"]["count"] == 1
+
+    def test_reservoir_bounded(self):
+        from repro.obs.metrics import RESERVOIR_SIZE
+
+        reg = MetricsRegistry()
+        for i in range(RESERVOIR_SIZE * 3):
+            reg.observe("big_seconds", float(i))
+        hist = reg.histogram("big_seconds")
+        assert hist.count() == RESERVOIR_SIZE * 3
+        # The ring keeps only the newest window; quantiles track it.
+        assert hist.quantiles()["p50"] >= RESERVOIR_SIZE
+
+    def test_percentile_nearest_rank(self):
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+        assert percentile([5.0], 0.99) == 5.0
+        assert percentile([], 0.5) == 0.0
+
+
+@pytest.mark.smoke
+class TestPrometheusRender:
+    def test_counter_lines(self):
+        reg = MetricsRegistry()
+        reg.inc("hits_total")
+        reg.inc("req_total", endpoint="route")
+        text = reg.render_prometheus()
+        assert "# TYPE hits_total counter" in text
+        assert "hits_total 1" in text
+        assert 'req_total{endpoint="route"} 1' in text
+
+    def test_histogram_exposition(self):
+        reg = MetricsRegistry()
+        reg.observe("lat_seconds", 0.003)
+        text = reg.render_prometheus()
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="0.005"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+        assert "lat_seconds_sum 0.003" in text
+
+    def test_bucket_counts_cumulative(self):
+        reg = MetricsRegistry()
+        reg.observe("d_seconds", 0.0002)
+        reg.observe("d_seconds", 0.02)
+        lines = reg.render_prometheus().splitlines()
+        inf = [l for l in lines if 'le="+Inf"' in l]
+        assert inf and inf[0].endswith(" 2")
+
+    def test_multi_registry_concatenation(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("a_total")
+        b.inc("b_total")
+        text = render_prometheus(a, b)
+        assert "a_total 1" in text and "b_total 1" in text
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.inc("x_total", 5)
+        reg.reset()
+        assert reg.value("x_total") == 0.0

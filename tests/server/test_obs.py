@@ -1,0 +1,158 @@
+"""Server observability — ``/metrics``, ``X-Repro-Trace``, ``--trace-dir``.
+
+App-level assertions go straight at :class:`RouterApp`; the wire-level
+ones (headers, content type) use a real daemon on an ephemeral port,
+scraped with plain urllib — ``/metrics`` is Prometheus text, outside the
+JSON envelope protocol :class:`ServerClient` speaks.
+"""
+
+import json
+import os
+import time
+import urllib.request
+
+import pytest
+
+from repro._version import __version__
+from repro.io import board_to_dict, load_trace
+from repro.server import RouterApp
+from repro.server.app import make_http_server
+
+from test_app import good_board  # same-directory module
+
+
+def route_payload(name="b0"):
+    return {"board": board_to_dict(good_board(name)), "preset": "fast"}
+
+
+@pytest.fixture
+def app(tmp_path) -> RouterApp:
+    return RouterApp(str(tmp_path / "cache"))
+
+
+@pytest.mark.smoke
+class TestAppMetrics:
+    def test_healthz_reports_version_and_uptime(self, app):
+        status, payload = app.healthz()
+        assert status == 200
+        assert payload["repro_version"] == __version__
+        assert payload["uptime_s"] >= 0
+
+    def test_stats_reports_version_and_metric_snapshots(self, app):
+        app.healthz()
+        status, payload = app.stats()
+        assert status == 200
+        assert payload["repro_version"] == __version__
+        assert set(payload["metrics"]) == {"app", "cache", "process"}
+        counters = payload["metrics"]["app"]["repro_requests_total"]
+        assert counters["values"]["healthz"] == 1
+
+    def test_requests_dict_and_counter_agree(self, app):
+        app.healthz()
+        app.healthz()
+        app.route(route_payload())
+        _, payload = app.stats()
+        assert payload["requests"]["healthz"] == 2
+        assert payload["requests"]["route"] == 1
+        assert app.metrics.value("repro_requests_total", endpoint="healthz") == 2
+        assert app.metrics.value("repro_requests_total", endpoint="route") == 1
+
+    def test_metrics_text_merges_registries(self, app):
+        app.route(route_payload())  # miss: routes, caches
+        app.route(route_payload())  # hit
+        status, text = app.metrics_text()
+        assert status == 200
+        assert f'repro_build_info{{version="{__version__}"}} 1' in text
+        assert "repro_uptime_seconds" in text
+        assert 'repro_requests_total{endpoint="route"} 2' in text
+        assert "repro_cache_hits_total 1" in text
+        assert "repro_cache_misses_total 1" in text
+        # Process-global signals (stage timings) ride along.
+        assert "repro_stage_seconds" in text
+
+    def test_per_app_cache_counters_are_isolated(self, app, tmp_path):
+        app.route(route_payload())
+        other = RouterApp(str(tmp_path / "cache2"))
+        assert other.cache.metrics.value("repro_cache_misses_total") == 0
+        assert app.cache.metrics.value("repro_cache_misses_total") == 1
+
+
+class TestRequestTracing:
+    def test_no_trace_dir_means_no_trace(self, app):
+        with app.request_trace("/route") as trace:
+            assert trace is None
+
+    def test_trace_dir_collects_and_persists(self, tmp_path):
+        tdir = str(tmp_path / "traces")
+        app = RouterApp(str(tmp_path / "cache"), trace_dir=tdir)
+        with app.request_trace("/route") as trace:
+            assert trace is not None
+            app.route(route_payload())
+        files = os.listdir(tdir)
+        assert len(files) == 1
+        loaded = load_trace(os.path.join(tdir, files[0]))
+        assert loaded.trace_id == trace.trace_id
+        names = [s["name"] for s in loaded.to_dict()["spans"]]
+        assert names[0] == "request /route"
+        assert "session.run" in names and "cache.put" in names
+
+
+class TestOverHTTP:
+    @pytest.fixture(scope="class")
+    def server(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("obs-http")
+        server = make_http_server(
+            str(root / "cache"),
+            port=0,
+            trace_dir=str(root / "traces"),
+        ).start_background()
+        yield server
+        server.shutdown(drain_timeout=5.0)
+
+    def _get(self, server, path):
+        with urllib.request.urlopen(server.url + path, timeout=30) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+
+    def test_metrics_endpoint_is_prometheus_text(self, server):
+        status, headers, body = self._get(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode()
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_build_info" in text
+
+    def test_trace_header_names_persisted_file(self, server):
+        req = urllib.request.Request(
+            server.url + "/route",
+            data=json.dumps(route_payload("traced")).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            trace_id = resp.headers["X-Repro-Trace"]
+            assert resp.status == 200
+        assert trace_id
+        path = os.path.join(server.app.trace_dir, f"{trace_id}.json")
+        # The artifact is written after the response flushes; give the
+        # handler thread a moment to finish its exit path.
+        deadline = time.monotonic() + 5.0
+        while not os.path.exists(path) and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert os.path.exists(path)
+        names = [s["name"] for s in load_trace(path).to_dict()["spans"]]
+        assert names[0] == "request /route"
+        assert "session.run" in names
+
+    def test_request_latency_histogram_fills(self, server):
+        self._get(server, "/healthz")
+        # The latency lands in the handler's finally, *after* the
+        # response bytes reach the client — poll rather than race it.
+        needle = 'repro_request_seconds_count{endpoint="healthz"}'
+        deadline = time.monotonic() + 5.0
+        text = ""
+        while time.monotonic() < deadline:
+            _, _, body = self._get(server, "/metrics")
+            text = body.decode()
+            if needle in text:
+                break
+            time.sleep(0.02)
+        assert needle in text
