@@ -5,4 +5,4 @@ with the producing version without importing the package root (which
 imports :mod:`repro.io` back).
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"

@@ -130,14 +130,29 @@ class RoutingSession:
         """
         result = RunResult(board=self.board.name, config=self.config.to_dict())
         scenario = self.board.meta.get("scenario")
+        kicad = self.board.meta.get("kicad")
         if scenario:
             # Deep copy: the nested params dict must not alias board.meta
             # (mutating one would silently corrupt the other's record).
             result.provenance = copy.deepcopy(scenario)
+        elif isinstance(kicad, dict):
+            # Hand-imported board (repro import → repro route): no
+            # scenario spec exists, so the importer's provenance stands
+            # in — enough to say which file (and which bytes) this was.
+            result.provenance = {
+                "name": "imported",
+                "kicad": copy.deepcopy(kicad),
+            }
+        run_attrs = {
+            "board": self.board.name,
+            "preset": self.config.preset_name,
+        }
+        if isinstance(kicad, dict) and kicad.get("source"):
+            # Imported boards carry their file path into the span so
+            # `repro trace summarize` can say what was routed.
+            run_attrs["source"] = kicad["source"]
         started = time.perf_counter()
-        with obs.span(
-            "session.run", board=self.board.name, preset=self.config.preset_name
-        ) as run_span:
+        with obs.span("session.run", **run_attrs) as run_span:
             for stage in self.stages:
                 if self.on_stage_start is not None:
                     self.on_stage_start(self, stage)

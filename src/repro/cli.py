@@ -19,6 +19,9 @@ Subcommands::
     python -m repro route board.json --trace trace.json
     python -m repro trace summarize trace.json
     python -m repro serve --trace-dir traces/
+    python -m repro import board.kicad_pcb --out board.json --json
+    python -m repro import board.kicad_pcb --match BUS --svg board.svg
+    python -m repro corpus run --fixture tests/kicad/fixtures/demo_bus.kicad_pcb
 
 ``route`` runs the full :class:`~repro.api.RoutingSession` pipeline and
 can persist the structured :class:`~repro.api.RunResult` (with
@@ -34,7 +37,11 @@ and figures (the pre-redesign top-level
 ``table1``/``table2``/``figures``/``all`` spellings keep working as
 aliases) or, with ``--perf``, times the hot paths and writes the
 ``BENCH_perf.json`` baseline (see PERFORMANCE.md; ``--scenarios`` adds
-the scenario-backed scaling curve).
+the scenario-backed scaling curve); ``import`` ingests a real KiCad
+``.kicad_pcb`` board through :mod:`repro.model.kicad` — its ``--json``
+envelope carries the validator report, and its exit codes distinguish
+parse error (2), validation-fatal or ``--strict`` warnings (1), and
+ok-with-warnings (0).
 
 Exit codes (documented in README, gated by CI): **0** on success; **1**
 when routing ends un-OK (failed stage, missed targets, or DRC
@@ -153,6 +160,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip routable-area containment checks",
     )
     check.add_argument(
+        "--net-classes",
+        action="store_true",
+        help="also enforce per-net-class clearances recorded by the "
+        "KiCad importer (no-op on boards without class tables)",
+    )
+    check.add_argument(
         "--json", action="store_true",
         help="print the check_response envelope (clean flag, violation "
         "count, report) as JSON — the same schema a repro server "
@@ -165,6 +178,40 @@ def _build_parser() -> argparse.ArgumentParser:
     render.add_argument("--scale", type=float, default=4.0)
     render.add_argument(
         "--show-areas", action="store_true", help="draw assigned routable areas"
+    )
+
+    imp = sub.add_parser(
+        "import",
+        help="import a KiCad .kicad_pcb board file (repro.model.kicad)",
+    )
+    imp.add_argument("file", help="path of the .kicad_pcb file")
+    imp.add_argument(
+        "--out", default=None, metavar="BOARD.json",
+        help="write the imported board as board JSON (routable via "
+        "`repro route`)",
+    )
+    imp.add_argument(
+        "--svg", default=None, metavar="BOARD.svg",
+        help="render the imported board",
+    )
+    imp.add_argument(
+        "--json", action="store_true",
+        help="print the import_response envelope (content hash, counts, "
+        "full validator report) as JSON",
+    )
+    imp.add_argument(
+        "--strict", action="store_true",
+        help="treat validator warnings as failures (exit 1); fatal "
+        "findings always fail",
+    )
+    imp.add_argument(
+        "--match", default="", metavar="NET_CLASS",
+        help="bind the traces of the named KiCad net class into one "
+        "length-matching group (target: the longest member)",
+    )
+    imp.add_argument(
+        "--name", default=None,
+        help="override the imported board's name (default: the file stem)",
     )
 
     gen = sub.add_parser(
@@ -251,6 +298,16 @@ def _build_parser() -> argparse.ArgumentParser:
     corpus.add_argument(
         "--json", action="store_true",
         help="print the aggregate report as JSON instead of the summary",
+    )
+    corpus.add_argument(
+        "--fixture", action="append", default=None, metavar="FILE.kicad_pcb",
+        help="route this real board through the 'imported' family "
+        "(repeatable; one case per file, spec-pinned by content hash)",
+    )
+    corpus.add_argument(
+        "--fixture-match", default="", metavar="NET_CLASS",
+        help="with --fixture: bind each board's named net class into a "
+        "length-matching group",
     )
     corpus.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -408,9 +465,13 @@ def _cmd_route(args: argparse.Namespace) -> int:
         on_stage_start = lambda session, stage: print(f"[{stage.name}] ...")
     session = RoutingSession(board, config, on_stage_start=on_stage_start)
     if args.trace is not None:
-        with obs.trace(
-            f"route {board.name}", board=board.name, preset=args.preset
-        ) as collected:
+        trace_attrs: Dict[str, Any] = {
+            "board": board.name, "preset": args.preset
+        }
+        kicad_meta = board.meta.get("kicad")
+        if isinstance(kicad_meta, dict) and kicad_meta.get("source"):
+            trace_attrs["source"] = kicad_meta["source"]
+        with obs.trace(f"route {board.name}", **trace_attrs) as collected:
             result = session.run()
         save_trace(collected, args.trace)
         # Stamped before save_result so the artifact records where its
@@ -522,6 +583,10 @@ def _route_remote(args: argparse.Namespace, board, config) -> int:
 def _cmd_check(args: argparse.Namespace) -> int:
     board = load_board(args.board)
     report = check_board(board, check_areas=not args.no_areas)
+    if args.net_classes:
+        from .drc import check_net_classes
+
+        check_net_classes(board, report)
     if args.json:
         from .io import drc_report_to_dict
 
@@ -670,6 +735,81 @@ def _cmd_gen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_import(args: argparse.Namespace) -> int:
+    """``repro import``: .kicad_pcb → Board, with the validator report.
+
+    Exit codes: **2** for a file that cannot be read or parsed at all
+    (OSError / :class:`KicadParseError`), **1** when validation found
+    fatal problems — or, under ``--strict``, any warnings — and **0**
+    for a clean or warnings-only import.
+    """
+    from .model.kicad import KicadParseError, import_board_file
+
+    try:
+        board, report, digest = import_board_file(args.file, match=args.match)
+    except (OSError, KicadParseError) as exc:
+        if args.json:
+            error: Dict[str, Any] = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+            }
+            if isinstance(exc, KicadParseError):
+                error["line"] = exc.line
+                error["column"] = exc.column
+            print(
+                json.dumps(
+                    {"kind": "error_response", "error": error}, indent=2
+                )
+            )
+        print(f"error: {args.file}: {exc}", file=sys.stderr)
+        return 2
+    if args.name:
+        board.name = args.name
+    ok = report.ok(strict=args.strict)
+    if args.out:
+        save_board(board, args.out)
+    if args.svg:
+        render_board(board, path=args.svg)
+    summary = report.summary()
+    if args.json:
+        envelope: Dict[str, Any] = {
+            "kind": "import_response",
+            "source": args.file,
+            "sha256": digest,
+            "board": board.name,
+            "ok": ok,
+            "strict": args.strict,
+            "counts": {
+                "traces": len(board.traces),
+                "obstacles": len(board.obstacles),
+                "groups": len(board.groups),
+            },
+            "validation": report.to_dict(),
+        }
+        print(json.dumps(envelope, indent=2, ensure_ascii=False))
+    else:
+        print(
+            f"imported {board.name}: {len(board.traces)} traces, "
+            f"{len(board.obstacles)} obstacles, {len(board.groups)} "
+            f"matching group(s)  [sha256 {digest[:12]}]"
+        )
+        print(
+            f"validation: {summary['fatal']} fatal, "
+            f"{summary['warnings']} warning(s), {summary['infos']} info"
+        )
+        for finding in report.fatal + report.warnings:
+            position = f" (line {finding.line})" if finding.line else ""
+            print(
+                f"  [{finding.severity}] {finding.code}: "
+                f"{finding.message}{position}"
+            )
+        if args.out:
+            print(f"wrote {args.out}")
+        if args.svg:
+            print(f"wrote {args.svg}")
+    return 0 if ok else 1
+
+
 def _cmd_corpus(args: argparse.Namespace) -> int:
     if args.scenario is not None:
         try:
@@ -677,6 +817,34 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
                 scenarios.get(name)
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        # A param-requiring family (imported) cannot sweep bare seeds:
+        # refuse up front with the structured envelope machine callers
+        # expect — never a traceback.
+        unsatisfied = [
+            family.name
+            for family in map(scenarios.get, args.scenario)
+            if family.requires and not args.fixture
+        ]
+        if unsatisfied:
+            message = (
+                f"scenario(s) {', '.join(unsatisfied)} need board files: "
+                "pass --fixture <file.kicad_pcb> (repeatable)"
+            )
+            if args.json:
+                print(
+                    json.dumps(
+                        {
+                            "kind": "error_response",
+                            "error": {
+                                "type": "ValueError",
+                                "message": message,
+                            },
+                        },
+                        indent=2,
+                    )
+                )
+            print(f"error: {message}", file=sys.stderr)
             return 2
     outdir = args.outdir
     if args.resume is not None:
@@ -703,6 +871,8 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
             retry=args.retry,
             resume=args.resume is not None,
             cache=args.cache_dir,
+            fixtures=args.fixture,
+            fixture_match=args.fixture_match,
         )
 
     if args.trace is not None:
@@ -759,6 +929,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"trace {trace.trace_id}  {trace.name!r}  "
         f"{len(doc['spans'])} spans  {trace.duration_s() * 1000.0:.1f} ms"
     )
+    # Imported-board runs carry the board name and source file on their
+    # span attrs (`session.run` / the route trace root); surface them so
+    # the table says what was routed, not just how long it took.
+    board_name = source = None
+    for span in doc["spans"]:
+        attrs = span.get("attrs") or {}
+        if board_name is None and attrs.get("board"):
+            board_name = attrs["board"]
+        if source is None and attrs.get("source"):
+            source = attrs["source"]
+        if board_name is not None and source is not None:
+            break
+    if board_name or source:
+        note = f"board {board_name or '?'}"
+        if source:
+            note += f"  ({source})"
+        print(note)
     header = f"{'span':<28} {'count':>6} {'total ms':>10} {'mean ms':>9} {'max ms':>9} {'share':>6}"
     print(header)
     print("-" * len(header))
@@ -849,6 +1036,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "route": _cmd_route,
         "check": _cmd_check,
         "render": _cmd_render,
+        "import": _cmd_import,
         "gen": _cmd_gen,
         "corpus": _cmd_corpus,
         "serve": _cmd_serve,

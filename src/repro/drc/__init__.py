@@ -13,6 +13,12 @@ from .checker import (
     check_self_clearance,
     check_trace_pair_clearance,
 )
+from .netclass import (
+    check_net_classes,
+    net_class_rules,
+    rules_for_net,
+    trace_rules,
+)
 
 __all__ = [
     "DrcReport",
@@ -23,9 +29,13 @@ __all__ = [
     "check_board",
     "check_containment",
     "check_endpoints_preserved",
+    "check_net_classes",
     "check_obstacle_clearance",
     "check_pair_coupling",
     "check_segment_lengths",
     "check_self_clearance",
     "check_trace_pair_clearance",
+    "net_class_rules",
+    "rules_for_net",
+    "trace_rules",
 ]

@@ -411,6 +411,12 @@ def check_board(
         a, b = all_traces[i], all_traces[j]
         if frozenset((a.name, b.name)) in same_pair_keys:
             continue  # intra-pair spacing is the pair rule, not d_gap
+        if a.net and a.net == b.net:
+            # Electrically one net (e.g. the chains a branched imported
+            # net was split into): contact is legal, d_gap is about
+            # crosstalk between *different* signals.  Synthetic traces
+            # carry net="" and are unaffected.
+            continue
         cands = None if exhaustive else sorted(pair_cands[(i, j)])
         rules = DesignRules(
             dgap=max(per_trace_rules[a.name].dgap, per_trace_rules[b.name].dgap),

@@ -1,0 +1,123 @@
+"""Net-class rule binding for imported boards.
+
+KiCad assigns each net to a *net class*, and every class carries its own
+clearance.  The importer preserves those tables verbatim in
+``board.meta["kicad"]["net_classes"]`` (name -> clearance, trace_width,
+member nets, and the derived ``DesignRules`` numbers); the board-level
+``RuleSet`` only keeps the default class.  This module resolves the
+tables back into per-net :class:`DesignRules` and runs the extra
+clearance pass for pairs whose binding class demands more room than the
+board default already enforced by :func:`~repro.drc.checker.check_board`.
+
+Boards without KiCad provenance simply have no class table: every lookup
+falls back to ``board.rules.default`` and :func:`check_net_classes`
+returns a clean report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..model import Board, DesignRules, Trace
+from .checker import check_trace_pair_clearance
+from .violations import DrcReport
+
+#: The class KiCad binds any net without an explicit class to.
+DEFAULT_CLASS = "Default"
+
+
+def _class_table(board: Board) -> Dict[str, dict]:
+    kicad = board.meta.get("kicad")
+    if not isinstance(kicad, dict):
+        return {}
+    classes = kicad.get("net_classes")
+    return classes if isinstance(classes, dict) else {}
+
+
+def _rules_from_entry(entry: dict, fallback: DesignRules) -> DesignRules:
+    numbers = entry.get("rules") if isinstance(entry, dict) else None
+    if not isinstance(numbers, dict):
+        return fallback
+    return DesignRules(
+        dgap=float(numbers.get("dgap", fallback.dgap)),
+        dobs=float(numbers.get("dobs", fallback.dobs)),
+        dprotect=float(numbers.get("dprotect", fallback.dprotect)),
+        dmiter=float(numbers.get("dmiter", fallback.dmiter)),
+    )
+
+
+def net_class_rules(board: Board) -> Dict[str, DesignRules]:
+    """Every net class on the board, resolved to :class:`DesignRules`."""
+    fallback = board.rules.default
+    return {
+        name: _rules_from_entry(entry, fallback)
+        for name, entry in _class_table(board).items()
+    }
+
+
+def rules_for_net(board: Board, net: str) -> Optional[DesignRules]:
+    """The rules of the class binding ``net``, or ``None`` if unbound.
+
+    A net that belongs to no explicit class uses the ``Default`` class
+    when the table has one — the same resolution KiCad itself applies.
+    """
+    table = _class_table(board)
+    if not table:
+        return None
+    fallback = board.rules.default
+    if net:
+        for name, entry in table.items():
+            nets = entry.get("nets") if isinstance(entry, dict) else None
+            if isinstance(nets, (list, tuple)) and net in nets:
+                return _rules_from_entry(entry, fallback)
+    default_entry = table.get(DEFAULT_CLASS)
+    if default_entry is not None:
+        return _rules_from_entry(default_entry, fallback)
+    return None
+
+
+def trace_rules(board: Board, trace: Trace) -> DesignRules:
+    """The rules ``trace`` is subject to: its net class, else the default."""
+    bound = rules_for_net(board, trace.net)
+    return bound if bound is not None else board.rules.default
+
+
+def check_net_classes(
+    board: Board, report: Optional[DrcReport] = None
+) -> DrcReport:
+    """Clearance pass under per-net-class rules.
+
+    For each pair of different-net traces the required gap is the
+    *stricter* of the two binding classes.  Pairs whose class gap does
+    not exceed the board default are skipped — ``check_board`` already
+    enforced that — so this pass is purely additive and never duplicates
+    a default-rule violation.
+    """
+    if report is None:
+        report = DrcReport()
+    table = net_class_rules(board)
+    if not table:
+        return report
+    default = board.rules.default
+    traces = list(board.traces)
+    for pair in board.pairs:
+        traces.append(pair.trace_p)
+        traces.append(pair.trace_n)
+    bound = [(trace, trace_rules(board, trace)) for trace in traces]
+    for i in range(len(bound)):
+        a, rules_a = bound[i]
+        for j in range(i + 1, len(bound)):
+            b, rules_b = bound[j]
+            if a.net and a.net == b.net:
+                continue  # one electrical net: contact is legal
+            dgap = max(rules_a.dgap, rules_b.dgap)
+            if dgap <= default.dgap:
+                continue  # the default pass already enforced this pair
+            strict = DesignRules(
+                dgap=dgap,
+                dobs=max(rules_a.dobs, rules_b.dobs),
+                dprotect=max(rules_a.dprotect, rules_b.dprotect),
+                dmiter=max(rules_a.dmiter, rules_b.dmiter),
+            )
+            check_trace_pair_clearance(a, b, strict, report)
+    return report

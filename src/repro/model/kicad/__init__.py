@@ -1,0 +1,118 @@
+"""``repro.model.kicad`` — real-board ingestion from ``.kicad_pcb`` files.
+
+Three layers, importable separately:
+
+* :mod:`~repro.model.kicad.sexpr` — tolerant s-expression reader with a
+  typed :class:`KicadParseError` (line/column) for syntax problems;
+* :mod:`~repro.model.kicad.validator` — structured report of
+  unsupported/unroutable constructs (severity ``fatal``/``warning``/
+  ``info``), so partial boards import instead of crashing;
+* :mod:`~repro.model.kicad.parser` — maps the supported subset onto
+  :class:`~repro.model.Board` with provenance in ``meta["kicad"]``.
+
+Front doors:
+
+* :func:`import_board_file` — read a file, hash it, parse + validate;
+  the CLI's ``repro import`` is a thin wrapper over this;
+* :func:`import_scenario_board` — the strict variant the ``imported``
+  scenario family uses: verifies the pinned content hash (corpus/cache
+  keys must be byte-deterministic) and refuses fatally-invalid boards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Optional, Tuple
+
+from ..board import Board
+from .parser import build_board, parse_board
+from .sexpr import KicadParseError, SNode, parse_sexpr
+from .validator import (
+    FATAL,
+    Finding,
+    INFO,
+    ValidationReport,
+    WARNING,
+    validate_tree,
+)
+
+__all__ = [
+    "KicadParseError",
+    "SNode",
+    "parse_sexpr",
+    "validate_tree",
+    "ValidationReport",
+    "Finding",
+    "FATAL",
+    "WARNING",
+    "INFO",
+    "parse_board",
+    "build_board",
+    "import_board_file",
+    "import_scenario_board",
+]
+
+
+def file_sha256(path: str) -> str:
+    """Hex content hash of a file — the ``imported`` spec's identity."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(65536), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def import_board_file(
+    path: str, match: str = ""
+) -> Tuple[Board, ValidationReport, str]:
+    """Read, parse and validate a ``.kicad_pcb`` file.
+
+    Returns ``(board, report, sha256)``.  Raises :class:`OSError` for
+    unreadable paths and :class:`KicadParseError` for syntax errors;
+    everything else is reported, and the caller decides what
+    ``report.ok(strict)`` means for its exit code.
+    """
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    digest = hashlib.sha256(raw).hexdigest()
+    text = raw.decode("utf-8", errors="replace")
+    board, report = parse_board(
+        text, source=path, sha256=digest, match=match
+    )
+    return board, report, digest
+
+
+def import_scenario_board(
+    path: str, sha256: str = "", match: str = ""
+) -> Board:
+    """The ``imported`` scenario family's builder core.
+
+    Stricter than :func:`import_board_file`: the file must exist, match
+    the pinned content hash when one is given (corpus and cache keys are
+    functions of the spec, so the bytes behind a spec must never drift),
+    and import without fatal findings.
+    """
+    if not path:
+        raise ValueError(
+            "the 'imported' scenario needs a board file: pass "
+            "params={'path': '<file.kicad_pcb>'} (corpus: --fixture)"
+        )
+    if not os.path.isfile(path):
+        raise ValueError(f"board file not found: {path}")
+    board, report, digest = import_board_file(path, match=match)
+    if sha256 and digest != sha256:
+        raise ValueError(
+            f"content hash mismatch for {path}: expected {sha256[:12]}…, "
+            f"file is {digest[:12]}… — the file changed since the spec "
+            "was pinned"
+        )
+    if report.fatal:
+        first = report.fatal[0]
+        raise ValueError(
+            f"{path} failed validation: [{first.code}] {first.message} "
+            f"(+{len(report.fatal) - 1} more fatal)"
+            if len(report.fatal) > 1
+            else f"{path} failed validation: [{first.code}] {first.message}"
+        )
+    return board

@@ -1,0 +1,609 @@
+"""Map a parsed ``.kicad_pcb`` tree onto the routing :class:`Board`.
+
+The subset imported:
+
+==============  ============================================================
+KiCad node      Board entity
+==============  ============================================================
+``net``         net-id → name table (kept in ``meta["kicad"]["nets"]``)
+``net_class``   per-class :class:`DesignRules` (clearance → ``dgap``/
+                ``dobs``); the ``Default`` class becomes the board default
+``segment``     front-copper segments chained per net into
+                :class:`Trace` polylines (branched nets split into chains)
+``zone``        ``keepout`` zones → :class:`Obstacle` (kind ``keepout``)
+``via``         octagonal :class:`Obstacle` (kind ``via``) — only when its
+                net carries no imported traces, so routed nets are not
+                blocked by their own vias
+``pad``         bounding-box :class:`Obstacle` (kind ``pad``) under the
+                same no-self-blocking rule
+``gr_line`` /   board outline from ``Edge.Cuts`` (chained loop or rect);
+``gr_rect``     falls back to a padded bounding box of the geometry
+==============  ============================================================
+
+Coordinates are imported verbatim in KiCad's millimetre, y-down frame —
+the router is orientation-agnostic and the SVG renderer's y-flip makes
+rendered boards appear exactly as KiCad displays them.
+
+Everything that cannot be represented is *reported* on the
+:class:`~repro.model.kicad.validator.ValidationReport` (never raised),
+and full provenance is stamped into ``Board.meta["kicad"]``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...geometry import Point, Polygon, Polyline, rectangle
+from ..board import Board
+from ..group import MatchGroup
+from ..obstacle import Obstacle, via as via_obstacle
+from ..rules import DesignRules, RuleSet
+from ..trace import Trace
+from .sexpr import SNode, parse_sexpr
+from .validator import (
+    INFO,
+    OUTLINE_LAYER,
+    SUPPORTED_COPPER_LAYER,
+    ValidationReport,
+    WARNING,
+    is_supported_segment,
+    validate_tree,
+)
+
+#: KiCad's stock default clearance (mm) — used when a board carries no
+#: net-class table at all.
+FALLBACK_CLEARANCE = 0.2
+
+#: Endpoint quantum for chaining segments into polylines (0.1 µm).
+_QUANTUM = 1e-4
+
+#: Outline fallback padding around the geometry bounding box, in
+#: multiples of the default clearance.
+_BBOX_PAD_GAPS = 8.0
+
+#: Length-matching tolerance for ``--match`` groups (mm) — matches the
+#: synthetic generators' GROUP_TOLERANCE.
+_MATCH_TOLERANCE = 1e-2
+
+
+def _quant(x: float, y: float) -> Tuple[int, int]:
+    return (round(x / _QUANTUM), round(y / _QUANTUM))
+
+
+def _point_pair(node: SNode, name: str) -> Optional[Tuple[float, float]]:
+    child = node.child(name)
+    if child is None:
+        return None
+    atoms = child.atoms
+    if len(atoms) < 2:
+        return None
+    try:
+        return (float(atoms[0]), float(atoms[1]))
+    except (TypeError, ValueError):
+        return None
+
+
+def _rules_from_clearance(clearance: float) -> DesignRules:
+    return DesignRules(dgap=clearance, dobs=clearance, dprotect=0.0)
+
+
+# -- net classes -------------------------------------------------------------
+
+
+def _parse_net_classes(
+    root: SNode,
+) -> Tuple[Dict[str, Dict[str, object]], DesignRules]:
+    """Per-class metadata plus the board-default rules.
+
+    The ``Default`` class defines the board default; absent that, the
+    strictest (largest-clearance) class does; absent any class, KiCad's
+    stock clearance.
+    """
+    classes: Dict[str, Dict[str, object]] = {}
+    for node in root.children("net_class"):
+        name = str(node.atom(0, default="") or "")
+        if not name:
+            continue
+        clearance = node.value("clearance", default=FALLBACK_CLEARANCE)
+        if not isinstance(clearance, (int, float)) or clearance <= 0:
+            clearance = FALLBACK_CLEARANCE
+        trace_width = node.value("trace_width", default=0.0)
+        if not isinstance(trace_width, (int, float)):
+            trace_width = 0.0
+        nets = sorted(
+            str(n.atom(0, default="") or "") for n in node.children("add_net")
+        )
+        rules = _rules_from_clearance(float(clearance))
+        classes[name] = {
+            "clearance": float(clearance),
+            "trace_width": float(trace_width),
+            "nets": nets,
+            "rules": {
+                "dgap": rules.dgap,
+                "dobs": rules.dobs,
+                "dprotect": rules.dprotect,
+                "dmiter": rules.dmiter,
+            },
+        }
+    if "Default" in classes:
+        default = _rules_from_clearance(float(classes["Default"]["clearance"]))
+    elif classes:
+        strictest = max(float(c["clearance"]) for c in classes.values())
+        default = _rules_from_clearance(strictest)
+    else:
+        default = _rules_from_clearance(FALLBACK_CLEARANCE)
+    return classes, default
+
+
+# -- segments → traces -------------------------------------------------------
+
+
+def _chain_segments(
+    segs: Sequence[Tuple[Tuple[float, float], Tuple[float, float], float]],
+) -> List[Tuple[List[Tuple[float, float]], float]]:
+    """Chain a net's segments into maximal open polylines.
+
+    Chains stop at junction points (degree ≥ 3), so a branched net
+    yields one chain per branch.  Walk order follows file order, making
+    the output byte-deterministic for identical input.
+    Returns ``[(points, width), ...]`` where width is the chain maximum.
+    """
+    degree: Dict[Tuple[int, int], int] = {}
+    adjacency: Dict[Tuple[int, int], List[int]] = {}
+    keys: List[Tuple[Tuple[int, int], Tuple[int, int]]] = []
+    for idx, (start, end, _width) in enumerate(segs):
+        a, b = _quant(*start), _quant(*end)
+        keys.append((a, b))
+        for point in (a, b):
+            degree[point] = degree.get(point, 0) + 1
+            adjacency.setdefault(point, []).append(idx)
+
+    used = [False] * len(segs)
+    chains: List[Tuple[List[Tuple[float, float]], float]] = []
+
+    def walkable(point: Tuple[int, int]) -> bool:
+        return degree[point] == 2
+
+    for idx in range(len(segs)):
+        if used[idx]:
+            continue
+        used[idx] = True
+        start, end, width = segs[idx]
+        points = [start, end]
+        width = float(width)
+        head, tail = keys[idx]
+        # Extend forward from the tail, then backward from the head,
+        # only through plain degree-2 joints.
+        for extend_front in (False, True):
+            joint = head if extend_front else tail
+            while walkable(joint):
+                nxt = next(
+                    (j for j in adjacency[joint] if not used[j]), None
+                )
+                if nxt is None:
+                    break
+                used[nxt] = True
+                a, b = keys[nxt]
+                seg_start, seg_end, seg_width = segs[nxt]
+                width = max(width, float(seg_width))
+                if a == joint:
+                    new_point, joint = seg_end, b
+                else:
+                    new_point, joint = seg_start, a
+                if extend_front:
+                    points.insert(0, new_point)
+                else:
+                    points.append(new_point)
+        chains.append((points, width))
+    return chains
+
+
+def _import_traces(
+    root: SNode,
+    nets: Dict[int, str],
+    board: Board,
+) -> Dict[int, int]:
+    """Chain supported segments into traces; returns chains-per-net."""
+    by_net: Dict[int, List[Tuple[Tuple[float, float], Tuple[float, float], float]]] = {}
+    order: List[int] = []
+    for seg in root.children("segment"):
+        if not is_supported_segment(seg):
+            continue
+        start = _point_pair(seg, "start")
+        end = _point_pair(seg, "end")
+        net = seg.value("net")
+        if start is None or end is None or not isinstance(net, int):
+            continue
+        if _quant(*start) == _quant(*end):
+            continue
+        width = seg.value("width", default=0.0)
+        if net not in by_net:
+            by_net[net] = []
+            order.append(net)
+        by_net[net].append((start, end, float(width)))
+
+    chains_per_net: Dict[int, int] = {}
+    for net in order:
+        chains = _chain_segments(by_net[net])
+        chains_per_net[net] = len(chains)
+        base = nets.get(net, "") or f"n{net}"
+        for i, (points, width) in enumerate(chains):
+            name = base if len(chains) == 1 else f"{base}.{i + 1}"
+            board.add_trace(
+                Trace(
+                    name=name,
+                    path=Polyline([Point(x, y) for x, y in points]),
+                    width=width if width > 0 else FALLBACK_CLEARANCE,
+                    net=base,
+                )
+            )
+    return chains_per_net
+
+
+# -- obstacles ---------------------------------------------------------------
+
+
+def _pad_center(
+    footprint_at: Tuple[float, float, float], pad: SNode
+) -> Optional[Tuple[float, float]]:
+    at = pad.child("at")
+    if at is None:
+        return None
+    atoms = at.atoms
+    if len(atoms) < 2:
+        return None
+    dx, dy = float(atoms[0]), float(atoms[1])
+    fx, fy, rot = footprint_at
+    # KiCad rotates child offsets with the footprint; in the file's
+    # y-down frame a positive angle turns counter-clockwise on screen.
+    theta = math.radians(rot)
+    cos_t, sin_t = math.cos(theta), math.sin(theta)
+    return (fx + dx * cos_t + dy * sin_t, fy - dx * sin_t + dy * cos_t)
+
+
+def _pad_on_front(pad: SNode) -> bool:
+    layers = pad.child("layers")
+    if layers is None:
+        return True
+    names = {str(a) for a in layers.atoms}
+    return bool(
+        {SUPPORTED_COPPER_LAYER, "*.Cu"} & names
+    )
+
+
+def _import_obstacles(
+    root: SNode,
+    nets: Dict[int, str],
+    routed_nets: Dict[int, int],
+    board: Board,
+    report: ValidationReport,
+) -> None:
+    """Keepout zones always; pads and vias only when their net carries
+    no imported traces (a routed net's own landing geometry must not
+    count as an obstacle against it)."""
+    keepout_index = 0
+    for zone in root.children("zone"):
+        if zone.child("keepout") is None:
+            continue
+        polygon = zone.child("polygon")
+        pts = polygon.child("pts") if polygon is not None else None
+        if pts is None:
+            continue
+        points: List[Point] = []
+        for xy in pts.children("xy"):
+            atoms = xy.atoms
+            if len(atoms) >= 2:
+                points.append(Point(float(atoms[0]), float(atoms[1])))
+        if len(points) < 3:
+            report.add(
+                WARNING,
+                "degenerate-keepout",
+                "keepout zone with fewer than three corners skipped",
+                zone,
+            )
+            continue
+        keepout_index += 1
+        zone_name = str(zone.value("net_name", default="") or "")
+        board.add_obstacle(
+            Obstacle(
+                polygon=Polygon(points),
+                kind="keepout",
+                name=zone_name or f"keepout_{keepout_index}",
+            )
+        )
+
+    via_index = 0
+    for node in root.children("via"):
+        net = node.value("net")
+        if isinstance(net, int) and routed_nets.get(net):
+            continue  # validator already warned; skip silently here
+        at = _point_pair(node, "at")
+        size = node.value("size", default=0.0)
+        if at is None or not isinstance(size, (int, float)) or size <= 0:
+            continue
+        via_index += 1
+        board.add_obstacle(
+            via_obstacle(
+                Point(*at), radius=float(size) / 2.0, name=f"via_{via_index}"
+            )
+        )
+
+    for footprint in root.children("footprint") + root.children("module"):
+        ref = str(footprint.atom(0, default="") or "")
+        at = footprint.child("at")
+        atoms = at.atoms if at is not None else []
+        fx = float(atoms[0]) if len(atoms) > 0 else 0.0
+        fy = float(atoms[1]) if len(atoms) > 1 else 0.0
+        rot = float(atoms[2]) if len(atoms) > 2 else 0.0
+        for pad in footprint.children("pad"):
+            if not _pad_on_front(pad):
+                continue
+            net_node = pad.child("net")
+            net_id = net_node.atom(0) if net_node is not None else 0
+            if isinstance(net_id, int) and routed_nets.get(net_id):
+                report.add(
+                    INFO,
+                    "connected-pad",
+                    "pad on a routed net not imported as an obstacle "
+                    "(trace endpoints land on it)",
+                    pad,
+                    subject=nets.get(net_id, f"n{net_id}"),
+                )
+                continue
+            center = _pad_center((fx, fy, rot), pad)
+            size = pad.child("size")
+            size_atoms = size.atoms if size is not None else []
+            if center is None or len(size_atoms) < 2:
+                continue
+            w, h = float(size_atoms[0]), float(size_atoms[1])
+            if w <= 0 or h <= 0:
+                continue
+            # Bounding box of the (possibly rotated) pad rectangle.
+            theta = math.radians(rot)
+            half_w = (
+                abs(w * math.cos(theta)) + abs(h * math.sin(theta))
+            ) / 2.0
+            half_h = (
+                abs(w * math.sin(theta)) + abs(h * math.cos(theta))
+            ) / 2.0
+            cx, cy = center
+            pad_name = str(pad.atom(0, default="") or "")
+            board.add_obstacle(
+                Obstacle(
+                    polygon=rectangle(
+                        cx - half_w, cy - half_h, cx + half_w, cy + half_h
+                    ),
+                    kind="pad",
+                    name=f"{ref}:{pad_name}" if ref else pad_name,
+                )
+            )
+
+
+# -- outline -----------------------------------------------------------------
+
+
+def _outline_from_edges(
+    root: SNode, report: ValidationReport
+) -> Optional[Polygon]:
+    rect = next(
+        (
+            r
+            for r in root.children("gr_rect")
+            if r.value("layer") == OUTLINE_LAYER
+        ),
+        None,
+    )
+    if rect is not None:
+        start = _point_pair(rect, "start")
+        end = _point_pair(rect, "end")
+        if start and end:
+            xmin, xmax = sorted((start[0], end[0]))
+            ymin, ymax = sorted((start[1], end[1]))
+            if xmax > xmin and ymax > ymin:
+                return rectangle(xmin, ymin, xmax, ymax)
+
+    edges = []
+    for line in root.children("gr_line"):
+        if line.value("layer") != OUTLINE_LAYER:
+            continue
+        start = _point_pair(line, "start")
+        end = _point_pair(line, "end")
+        if start and end and _quant(*start) != _quant(*end):
+            edges.append((start, end))
+    if not edges:
+        return None
+
+    # Walk the edge loop: each corner must join exactly two edges.
+    adjacency: Dict[Tuple[int, int], List[int]] = {}
+    for idx, (start, end) in enumerate(edges):
+        adjacency.setdefault(_quant(*start), []).append(idx)
+        adjacency.setdefault(_quant(*end), []).append(idx)
+    if any(len(ids) != 2 for ids in adjacency.values()):
+        report.add(
+            WARNING,
+            "open-outline",
+            f"{OUTLINE_LAYER} edges do not close into a single loop; "
+            "using the padded bounding box instead",
+            root.child("gr_line"),
+        )
+        return None
+
+    used = [False] * len(edges)
+    points: List[Tuple[float, float]] = [edges[0][0]]
+    joint = _quant(*edges[0][0])
+    for _ in range(len(edges)):
+        nxt = next((j for j in adjacency[joint] if not used[j]), None)
+        if nxt is None:
+            break
+        used[nxt] = True
+        start, end = edges[nxt]
+        if _quant(*start) == joint:
+            points.append(end)
+            joint = _quant(*end)
+        else:
+            points.append(start)
+            joint = _quant(*start)
+    if not all(used) or _quant(*points[0]) != _quant(*points[-1]):
+        report.add(
+            WARNING,
+            "open-outline",
+            f"{OUTLINE_LAYER} edges do not close into a single loop; "
+            "using the padded bounding box instead",
+            root.child("gr_line"),
+        )
+        return None
+    return Polygon([Point(x, y) for x, y in points[:-1]])
+
+
+def _fallback_outline(board: Board, pad: float) -> Polygon:
+    xs: List[float] = []
+    ys: List[float] = []
+    for trace in board.traces:
+        for p in trace.path.points:
+            xs.append(p.x)
+            ys.append(p.y)
+    for obstacle in board.obstacles:
+        xmin, ymin, xmax, ymax = obstacle.bounds()
+        xs.extend((xmin, xmax))
+        ys.extend((ymin, ymax))
+    if not xs:
+        xs, ys = [0.0, 10.0], [0.0, 10.0]
+    return rectangle(
+        min(xs) - pad, min(ys) - pad, max(xs) + pad, max(ys) + pad
+    )
+
+
+# -- match groups ------------------------------------------------------------
+
+
+def _bind_match_group(
+    board: Board,
+    match: str,
+    classes: Dict[str, Dict[str, object]],
+    report: ValidationReport,
+) -> None:
+    if match not in classes:
+        raise ValueError(
+            f"net class {match!r} not defined in this board "
+            f"(available: {', '.join(sorted(classes)) or 'none'})"
+        )
+    class_nets = set(classes[match]["nets"])  # type: ignore[arg-type]
+    members = [t for t in board.traces if t.net in class_nets]
+    if not members:
+        raise ValueError(
+            f"net class {match!r} has no routed traces to match"
+        )
+    if len(members) < 2:
+        report.add(
+            WARNING,
+            "single-member-group",
+            f"net class {match!r} has a single routed trace; the match "
+            "group is trivially satisfied",
+            subject=match,
+        )
+    board.add_group(
+        MatchGroup(
+            name=match, members=list(members), tolerance=_MATCH_TOLERANCE
+        )
+    )
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def build_board(
+    root: SNode,
+    source: str = "",
+    sha256: str = "",
+    match: str = "",
+    report: Optional[ValidationReport] = None,
+) -> Tuple[Board, ValidationReport]:
+    """Build a :class:`Board` from a parsed tree.
+
+    ``report`` defaults to a fresh :func:`validate_tree` pass; the
+    builder appends its own findings (degenerate keepouts, open
+    outlines, connected pads) to the same report.  Raises
+    :class:`ValueError` only for caller errors (unknown ``match``
+    class) — document problems become findings, never exceptions.
+    """
+    if report is None:
+        report = validate_tree(root)
+    if report.fatal:
+        # Still build what we can: callers decide via report.ok().
+        pass
+
+    nets: Dict[int, str] = {}
+    for net in root.children("net"):
+        atoms = net.atoms
+        if len(atoms) >= 2 and isinstance(atoms[0], int):
+            nets[atoms[0]] = str(atoms[1])
+
+    classes, default_rules = _parse_net_classes(root)
+
+    board = Board(
+        outline=rectangle(0.0, 0.0, 10.0, 10.0),  # placeholder, set below
+        rules=RuleSet(default=default_rules),
+    )
+
+    routed_nets = _import_traces(root, nets, board)
+    _import_obstacles(root, nets, routed_nets, board, report)
+
+    outline = _outline_from_edges(root, report)
+    if outline is None:
+        outline = _fallback_outline(
+            board, pad=_BBOX_PAD_GAPS * default_rules.dgap
+        )
+    board.outline = outline
+
+    if match:
+        _bind_match_group(board, match, classes, report)
+
+    version = root.value("version", default="")
+    generator = root.value("generator", default="")
+    layers_node = root.child("layers")
+    layer_names: List[str] = []
+    if layers_node is not None:
+        for layer in layers_node.nodes:
+            name = layer.atom(0, default="")
+            if isinstance(name, str) and name:
+                layer_names.append(name)
+
+    stem = source.rsplit("/", 1)[-1]
+    if stem.endswith(".kicad_pcb"):
+        stem = stem[: -len(".kicad_pcb")]
+    board.name = stem or "imported"
+
+    board.meta["kicad"] = {
+        "source": source,
+        "sha256": sha256,
+        "version": str(version) if version != "" else "",
+        "generator": str(generator) if generator != "" else "",
+        "layers": layer_names,
+        "nets": {str(net_id): name for net_id, name in sorted(nets.items())},
+        "net_classes": classes,
+        "match": match,
+        "counts": {
+            "traces": len(board.traces),
+            "obstacles": len(board.obstacles),
+            "nets": len(nets),
+            "segments": len(root.children("segment")),
+        },
+        "validation": report.summary(),
+    }
+    return board, report
+
+
+def parse_board(
+    text: str,
+    source: str = "",
+    sha256: str = "",
+    match: str = "",
+) -> Tuple[Board, ValidationReport]:
+    """Parse ``.kicad_pcb`` text straight to a board plus its report.
+
+    Raises :class:`~repro.model.kicad.sexpr.KicadParseError` on syntax
+    errors; every document-level problem lands in the report instead.
+    """
+    root = parse_sexpr(text)
+    return build_board(root, source=source, sha256=sha256, match=match)

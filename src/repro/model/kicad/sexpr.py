@@ -1,0 +1,284 @@
+"""A tolerant s-expression reader for the ``.kicad_pcb`` format.
+
+KiCad board files are one big s-expression: ``(kicad_pcb (version ...)
+(net 1 "GND") (segment (start 1 2) ...) ...)``.  This reader turns the
+text into a tree of :class:`SNode` values while staying deliberately
+*tolerant*: node kinds it has never heard of are preserved verbatim as
+opaque subtrees (the validator counts them, the parser skips them), so
+a board written by a newer KiCad still imports partially instead of
+failing at the first novel construct.
+
+What it is strict about is *syntax*: unbalanced parentheses, truncated
+input, unterminated strings and trailing garbage all raise a typed
+:class:`KicadParseError` carrying the 1-based line and column of the
+offending character — the importer's exit-code contract (parse error =
+exit 2) hangs off this type.
+
+Supported lexical details:
+
+* quoted strings with backslash escapes (``\\"``, ``\\\\``, ``\\n``,
+  ``\\t``, ``\\r``; any other escaped character stands for itself), so
+  net names may embed parentheses, quotes and unicode;
+* bare atoms, converted to ``int``/``float`` when they parse as one
+  (``-0.25``, ``20171130``) and kept as strings otherwise (``F.Cu``);
+* LF, CRLF and lone-CR line endings, all counted as one line break for
+  error positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple, Union
+
+Atom = Union[str, int, float]
+
+
+class KicadParseError(ValueError):
+    """A syntax error in a ``.kicad_pcb`` document.
+
+    ``line`` and ``column`` are 1-based positions of the offending
+    character (or of end-of-input for truncation errors).  Subclasses
+    ``ValueError`` so the CLI's usage-error handling (exit 2, no
+    traceback) applies without special cases.
+    """
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+@dataclass
+class SNode:
+    """One parenthesised node: a name plus a list of values.
+
+    ``values`` holds atoms (``str``/``int``/``float``) and child
+    :class:`SNode` subtrees in document order.  Unknown nodes are plain
+    ``SNode`` values like any other — opaque but fully preserved.
+    """
+
+    name: str
+    values: List[Union[Atom, "SNode"]] = field(default_factory=list)
+    line: int = 0
+    column: int = 0
+
+    # -- structural accessors ------------------------------------------------
+
+    @property
+    def atoms(self) -> List[Atom]:
+        """The non-node values, in order."""
+        return [v for v in self.values if not isinstance(v, SNode)]
+
+    @property
+    def nodes(self) -> List["SNode"]:
+        """The child nodes, in order."""
+        return [v for v in self.values if isinstance(v, SNode)]
+
+    def children(self, name: str) -> List["SNode"]:
+        """Every child node called ``name``, in order."""
+        return [n for n in self.nodes if n.name == name]
+
+    def child(self, name: str) -> Optional["SNode"]:
+        """The first child node called ``name``, or ``None``."""
+        for n in self.nodes:
+            if n.name == name:
+                return n
+        return None
+
+    def atom(self, index: int = 0, default: Optional[Atom] = None) -> Optional[Atom]:
+        """The ``index``-th atom, or ``default`` when there are fewer."""
+        atoms = self.atoms
+        return atoms[index] if index < len(atoms) else default
+
+    def value(
+        self, name: str, index: int = 0, default: Optional[Atom] = None
+    ) -> Optional[Atom]:
+        """First atom of the first child called ``name`` (a very common
+        shape: ``(width 0.25)`` → ``node.value("width") == 0.25``)."""
+        child = self.child(name)
+        return default if child is None else child.atom(index, default)
+
+    def walk(self) -> Iterator["SNode"]:
+        """Depth-first traversal: this node, then every descendant."""
+        yield self
+        for node in self.nodes:
+            yield from node.walk()
+
+
+# -- tokenizer --------------------------------------------------------------
+
+_WHITESPACE = " \t\n\r"
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "(" | ")" | "atom" | "string"
+    text: Union[Atom, str]
+    line: int
+    column: int
+
+
+def _convert_atom(text: str) -> Atom:
+    """Bare atoms become numbers when they read as one."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def tokenize(text: str) -> Iterator[_Token]:
+    """Token stream with 1-based positions; raises on lexical errors."""
+    i = 0
+    n = len(text)
+    line = 1
+    column = 1
+
+    def advance_newline(ch: str) -> None:
+        nonlocal i, line, column
+        # CRLF counts as one break; lone CR (classic Mac) breaks too.
+        if ch == "\r" and i < n and text[i] == "\n":
+            i += 1
+        line += 1
+        column = 1
+
+    while i < n:
+        ch = text[i]
+        i += 1
+        if ch in "\n\r":
+            advance_newline(ch)
+            continue
+        if ch in _WHITESPACE:
+            column += 1
+            continue
+        if ch in "()":
+            yield _Token(ch, ch, line, column)
+            column += 1
+            continue
+        if ch == '"':
+            start_line, start_column = line, column
+            column += 1
+            out: List[str] = []
+            while True:
+                if i >= n:
+                    raise KicadParseError(
+                        "unterminated string", start_line, start_column
+                    )
+                ch = text[i]
+                i += 1
+                if ch == '"':
+                    column += 1
+                    break
+                if ch == "\\":
+                    if i >= n:
+                        raise KicadParseError(
+                            "unterminated string escape", line, column
+                        )
+                    esc = text[i]
+                    i += 1
+                    out.append(_ESCAPES.get(esc, esc))
+                    column += 2
+                    continue
+                if ch in "\n\r":
+                    out.append("\n")
+                    advance_newline(ch)
+                    continue
+                out.append(ch)
+                column += 1
+            yield _Token("string", "".join(out), start_line, start_column)
+            continue
+        # Bare atom: everything up to whitespace, a paren or a quote.
+        start_line, start_column = line, column
+        start = i - 1
+        column += 1
+        while i < n and text[i] not in _WHITESPACE and text[i] not in '()"':
+            i += 1
+            column += 1
+        yield _Token(
+            "atom", _convert_atom(text[start:i]), start_line, start_column
+        )
+
+
+# -- reader -----------------------------------------------------------------
+
+
+def parse_sexpr(text: str) -> SNode:
+    """Parse one complete s-expression document into its root node.
+
+    Raises :class:`KicadParseError` on empty input, a root that is not a
+    parenthesised node, unbalanced parentheses (truncated files), or
+    trailing non-whitespace after the root expression closes.
+    """
+    tokens = tokenize(text)
+    last_line = 1
+    last_column = 1
+
+    def next_token() -> Optional[_Token]:
+        nonlocal last_line, last_column
+        token = next(tokens, None)
+        if token is not None:
+            last_line, last_column = token.line, token.column
+        return token
+
+    first = next_token()
+    if first is None:
+        raise KicadParseError("empty document", 1, 1)
+    if first.kind != "(":
+        raise KicadParseError(
+            f"expected '(' at document start, got {first.text!r}",
+            first.line,
+            first.column,
+        )
+
+    def parse_node(open_token: _Token) -> SNode:
+        head = next_token()
+        if head is None:
+            raise KicadParseError(
+                "unexpected end of input inside node (unbalanced "
+                "parentheses)",
+                last_line,
+                last_column,
+            )
+        if head.kind == ")":
+            # ``()``: tolerated as an anonymous empty node.
+            return SNode(name="", line=open_token.line, column=open_token.column)
+        if head.kind == "(":
+            raise KicadParseError(
+                f"expected a node name after '(', got '('",
+                head.line,
+                head.column,
+            )
+        # Numeric heads happen in the wild (layer rows like ``(0 F.Cu
+        # signal)``); keep the stringified head as the name.
+        node = SNode(
+            name=str(head.text), line=open_token.line, column=open_token.column
+        )
+        while True:
+            token = next_token()
+            if token is None:
+                raise KicadParseError(
+                    f"unexpected end of input inside ({node.name} ...) "
+                    "(unbalanced parentheses)",
+                    last_line,
+                    last_column,
+                )
+            if token.kind == ")":
+                return node
+            if token.kind == "(":
+                node.values.append(parse_node(token))
+            else:
+                node.values.append(token.text)
+
+    root = parse_node(first)
+    trailing = next_token()
+    if trailing is not None:
+        raise KicadParseError(
+            f"trailing data after document root: {trailing.text!r}",
+            trailing.line,
+            trailing.column,
+        )
+    return root

@@ -1,0 +1,353 @@
+"""Validation pass over a parsed ``.kicad_pcb`` tree.
+
+The importer's contract is *report, don't crash*: a real board full of
+arcs, vias and inner-layer routing still imports partially, and the
+caller gets a structured :class:`ValidationReport` describing exactly
+what was dropped or degraded and how bad that is.
+
+Severities:
+
+``fatal``
+    The document cannot produce a usable board at all (wrong root node,
+    no importable content).  ``repro import`` exits 1 on these.
+``warning``
+    A construct the router cannot represent was skipped or simplified
+    (arcs, vias, off-layer segments, zero-width traces, filled zones,
+    branched nets, open outlines).  The board imports without it;
+    ``--strict`` promotes these to failures.
+``info``
+    Bookkeeping: node kinds the parser does not model were preserved as
+    opaque subtrees and ignored.
+
+The supported-subset predicates live here (not in the parser) so the
+validator and the parser cannot drift apart about what "supported"
+means — the parser imports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .sexpr import SNode
+
+FATAL = "fatal"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_ORDER = (FATAL, WARNING, INFO)
+
+#: The single copper layer the router models.  Segments, pads and zones
+#: elsewhere are reported and skipped (or, for pads, imported as
+#: obstacles only when on the front copper layer).
+SUPPORTED_COPPER_LAYER = "F.Cu"
+
+#: The layer board outlines are read from.
+OUTLINE_LAYER = "Edge.Cuts"
+
+#: Top-level node kinds the parser actively consumes.  Everything else
+#: at the top level is preserved as an opaque subtree and reported as
+#: an ``ignored-node`` info finding.
+CONSUMED_NODES = frozenset(
+    {
+        "version",
+        "generator",
+        "generator_version",
+        "general",
+        "layers",
+        "net",
+        "net_class",
+        "segment",
+        "via",
+        "arc",
+        "zone",
+        "gr_line",
+        "gr_rect",
+        "gr_arc",
+        "gr_circle",
+        "footprint",
+        "module",
+    }
+)
+
+
+def segment_layer(node: SNode) -> str:
+    """The layer a ``segment``/``arc``/``gr_*`` node sits on ("" if absent)."""
+    value = node.value("layer", default="")
+    return value if isinstance(value, str) else ""
+
+
+def is_supported_segment(node: SNode) -> bool:
+    """True when a ``segment`` node is routable front-copper geometry."""
+    if segment_layer(node) != SUPPORTED_COPPER_LAYER:
+        return False
+    width = node.value("width", default=0)
+    return isinstance(width, (int, float)) and width > 0
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validator observation, anchored to a source position."""
+
+    severity: str
+    code: str
+    message: str
+    line: int = 0
+    column: int = 0
+    subject: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "severity": self.severity,
+            "code": self.code,
+            "message": self.message,
+        }
+        if self.line:
+            doc["line"] = self.line
+            doc["column"] = self.column
+        if self.subject:
+            doc["subject"] = self.subject
+        return doc
+
+
+@dataclass
+class ValidationReport:
+    """The findings of one validation pass, queryable by severity."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(
+        self,
+        severity: str,
+        code: str,
+        message: str,
+        node: Optional[SNode] = None,
+        subject: str = "",
+    ) -> None:
+        if severity not in _SEVERITY_ORDER:
+            raise ValueError(f"unknown severity: {severity!r}")
+        self.findings.append(
+            Finding(
+                severity=severity,
+                code=code,
+                message=message,
+                line=node.line if node is not None else 0,
+                column=node.column if node is not None else 0,
+                subject=subject,
+            )
+        )
+
+    @property
+    def fatal(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == FATAL]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == WARNING]
+
+    @property
+    def infos(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == INFO]
+
+    def ok(self, strict: bool = False) -> bool:
+        """Importable?  ``strict`` additionally rejects warnings."""
+        if self.fatal:
+            return False
+        if strict and self.warnings:
+            return False
+        return True
+
+    def summary(self) -> Dict[str, object]:
+        """Stable counts: totals per severity plus per-code breakdown."""
+        by_code: Dict[str, int] = {}
+        for finding in self.findings:
+            by_code[finding.code] = by_code.get(finding.code, 0) + 1
+        return {
+            "fatal": len(self.fatal),
+            "warnings": len(self.warnings),
+            "infos": len(self.infos),
+            "by_code": dict(sorted(by_code.items())),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "summary": self.summary(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def validate_tree(root: SNode) -> ValidationReport:
+    """Walk a parsed tree and report everything the importer will not
+    (or cannot) carry into the :class:`~repro.model.Board`.
+
+    Purely a function of the tree — no filesystem, no board required —
+    so it can run standalone (``repro import --json`` embeds its output)
+    and its findings are byte-deterministic for golden comparisons.
+    """
+    report = ValidationReport()
+
+    if root.name != "kicad_pcb":
+        report.add(
+            FATAL,
+            "not-kicad-pcb",
+            f"document root is ({root.name or '?'} ...), expected (kicad_pcb ...)",
+            root,
+        )
+        return report
+
+    segments = root.children("segment")
+    has_outline = False
+    net_names: Dict[int, str] = {}
+
+    for net in root.children("net"):
+        atoms = net.atoms
+        if len(atoms) >= 2 and isinstance(atoms[0], int):
+            net_names[atoms[0]] = str(atoms[1])
+
+    def net_label(node: SNode) -> str:
+        ref = node.value("net")
+        if isinstance(ref, int) and ref in net_names:
+            return net_names[ref] or f"n{ref}"
+        return f"n{ref}" if isinstance(ref, int) else ""
+
+    for node in root.nodes:
+        name = node.name
+        if name == "segment":
+            layer = segment_layer(node)
+            if layer and layer != SUPPORTED_COPPER_LAYER:
+                report.add(
+                    WARNING,
+                    "off-layer-segment",
+                    f"segment on layer {layer!r} skipped (only "
+                    f"{SUPPORTED_COPPER_LAYER} is modelled)",
+                    node,
+                    subject=net_label(node),
+                )
+            else:
+                width = node.value("width", default=0)
+                if not isinstance(width, (int, float)) or width <= 0:
+                    report.add(
+                        WARNING,
+                        "zero-width-segment",
+                        "segment with zero or missing width skipped",
+                        node,
+                        subject=net_label(node),
+                    )
+        elif name == "via":
+            report.add(
+                WARNING,
+                "via",
+                "via has no single-layer equivalent; imported as a round "
+                "keepout only when its net carries no traces",
+                node,
+                subject=net_label(node),
+            )
+        elif name == "arc":
+            report.add(
+                WARNING,
+                "arc",
+                "arc track skipped (router paths are polylines)",
+                node,
+                subject=net_label(node),
+            )
+        elif name == "gr_arc" or name == "gr_circle":
+            layer = segment_layer(node)
+            if layer == OUTLINE_LAYER:
+                report.add(
+                    WARNING,
+                    "curved-outline",
+                    f"{name} on {OUTLINE_LAYER} skipped; outline is built "
+                    "from straight edges only",
+                    node,
+                )
+        elif name == "zone":
+            keepout = node.child("keepout")
+            if keepout is None:
+                report.add(
+                    WARNING,
+                    "filled-zone",
+                    "filled copper zone skipped (only keepout zones are "
+                    "modelled)",
+                    node,
+                    subject=net_label(node),
+                )
+        elif name in ("footprint", "module"):
+            for pad in node.children("pad"):
+                shape = pad.atom(2, default="")
+                if shape not in ("rect", "roundrect", "circle", "oval", ""):
+                    report.add(
+                        WARNING,
+                        "pad-shape",
+                        f"pad shape {shape!r} approximated by its bounding "
+                        "box",
+                        pad,
+                        subject=str(node.value("", default="") or ""),
+                    )
+        elif name in ("gr_line", "gr_rect"):
+            if segment_layer(node) == OUTLINE_LAYER:
+                has_outline = True
+        elif name not in CONSUMED_NODES and name:
+            report.add(
+                INFO,
+                "ignored-node",
+                f"({name} ...) preserved but not imported",
+                node,
+            )
+
+    if not has_outline:
+        report.add(
+            WARNING,
+            "no-outline",
+            f"no straight-edge outline on {OUTLINE_LAYER}; using the "
+            "padded bounding box of the imported geometry",
+            root,
+        )
+
+    # Branched nets: a net whose supported segments meet 3+ at a point
+    # cannot become a single polyline; the parser splits it into chains.
+    junctions = _branch_points(segments)
+    for net_id, count in sorted(junctions.items()):
+        label = net_names.get(net_id, f"n{net_id}") or f"n{net_id}"
+        report.add(
+            WARNING,
+            "branched-net",
+            f"net {label!r} branches at {count} junction(s); split into "
+            "separate traces",
+            subject=label,
+        )
+
+    importable = any(is_supported_segment(s) for s in segments)
+    if not importable and not root.children("net"):
+        report.add(
+            FATAL,
+            "no-content",
+            "no routable segments and no net table; nothing to import",
+            root,
+        )
+
+    return report
+
+
+def _branch_points(segments: List[SNode]) -> Dict[int, int]:
+    """Per-net count of endpoints where 3+ supported segments meet."""
+    degree: Dict[tuple, int] = {}
+    for seg in segments:
+        if not is_supported_segment(seg):
+            continue
+        net = seg.value("net")
+        if not isinstance(net, int):
+            continue
+        for end in ("start", "end"):
+            child = seg.child(end)
+            if child is None:
+                continue
+            atoms = child.atoms
+            if len(atoms) < 2:
+                continue
+            key = (net, round(float(atoms[0]) * 1e4), round(float(atoms[1]) * 1e4))
+            degree[key] = degree.get(key, 0) + 1
+    junctions: Dict[int, int] = {}
+    for (net, _x, _y), count in degree.items():
+        if count >= 3:
+            junctions[net] = junctions.get(net, 0) + 1
+    return junctions

@@ -165,6 +165,8 @@ def run_corpus(
     resume: bool = False,
     cache: Union[str, "ResultCache", None] = None,
     on_case: Optional[Callable[[Dict[str, Any]], None]] = None,
+    fixtures: Optional[Sequence[str]] = None,
+    fixture_match: str = "",
 ) -> Dict[str, Any]:
     """Generate, route and score a scenario corpus; returns the report.
 
@@ -204,6 +206,10 @@ def run_corpus(
         save_corpus_report,
     )
 
+    # ``fixtures`` are real board files for the ``imported`` family: one
+    # case per file (seeds do not apply — the board is a pure function
+    # of the file bytes), spec-pinned by path + content hash.
+    fixtures = list(dict.fromkeys(fixtures)) if fixtures else []
     if scenarios is not None:
         # Dedupe while keeping request order: a repeated name must not
         # route its boards twice nor double-count in the gate statistics
@@ -212,7 +218,24 @@ def run_corpus(
         for name in dict.fromkeys(scenarios):
             families.append(get(name))
     else:
-        families = list_scenarios()
+        # Families with required params (``imported``) cannot build from
+        # a bare (name, seed) spec; they join the default sweep only
+        # when fixtures supply what they need.
+        families = [f for f in list_scenarios() if not f.requires]
+    if fixtures and all(f.name != "imported" for f in families):
+        families.append(get("imported"))
+    for family in families:
+        if family.requires and family.name == "imported" and not fixtures:
+            raise ValueError(
+                "scenario 'imported' needs board files: pass --fixture "
+                "<file.kicad_pcb> (repeatable) to say what to import"
+            )
+        if family.requires and family.name != "imported":
+            raise ValueError(
+                f"scenario '{family.name}' requires parameter(s) "
+                f"{', '.join(family.requires)} and cannot run in a "
+                "corpus sweep"
+            )
     # Seeds dedupe for the same reason scenario names do above: a
     # repeated seed must not double-route nor double-count in the gate.
     seeds = tuple(dict.fromkeys(seeds)) if seeds is not None else (
@@ -235,6 +258,22 @@ def run_corpus(
     specs: List[ScenarioSpec] = []
     boards: List[Board] = []
     for family in families:
+        if family.name == "imported":
+            from ..model.kicad import file_sha256
+
+            for path in fixtures:
+                spec = ScenarioSpec(
+                    name=family.name,
+                    seed=0,
+                    params={
+                        "path": path,
+                        "sha256": file_sha256(path),
+                        "match": fixture_match,
+                    },
+                )
+                specs.append(spec)
+                boards.append(generate(spec))
+            continue
         params = dict(family.quick_overrides) if quick else {}
         for seed in seeds:
             spec = ScenarioSpec(name=family.name, seed=seed, params=params)

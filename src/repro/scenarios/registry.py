@@ -46,6 +46,17 @@ class ScenarioFamily:
     quick_overrides: Mapping[str, Any] = field(default_factory=dict)
     #: Free-form search tags ("bus", "bga", "pairs", ...).
     tags: Tuple[str, ...] = ()
+    #: Parameters a spec *must* supply for the builder to work at all
+    #: (the ``imported`` family needs a board file path).  Families with
+    #: required params are excluded from default corpus selections and
+    #: from the seed-sweep property tests — a bare
+    #: ``ScenarioSpec(name, seed)`` cannot build them.
+    requires: Tuple[str, ...] = ()
+    #: Optional override for the generated board's name.  The default
+    #: ``<scenario>-s<seed>`` collapses every imported file onto the
+    #: same name; file-driven families derive the name from the spec's
+    #: params instead so corpus case directories stay unique.
+    board_namer: Optional[Callable[[ScenarioSpec], str]] = None
 
     def describe(self) -> str:
         """A one-paragraph human-readable catalogue entry."""
@@ -57,7 +68,19 @@ class ScenarioFamily:
             "  defaults: "
             + ", ".join(f"{k}={v!r}" for k, v in sorted(self.defaults.items())),
         ]
+        if self.requires:
+            lines.append(f"  requires: {', '.join(self.requires)}")
         return "\n".join(lines)
+
+    def name_for(self, spec: ScenarioSpec) -> str:
+        """The board name a spec produces (``board_namer`` wins)."""
+        if self.board_namer is not None:
+            return self.board_namer(spec)
+        return spec.board_name
+
+    def missing_required(self, spec: ScenarioSpec) -> List[str]:
+        """Required params the spec leaves unset (or set falsy)."""
+        return [key for key in self.requires if not spec.params.get(key)]
 
 
 _REGISTRY: Dict[str, ScenarioFamily] = {}
@@ -129,6 +152,13 @@ def generate(
             f"unknown parameter(s) for scenario '{spec.name}': "
             f"{', '.join(sorted(unknown))}"
         )
+    missing = family.missing_required(spec)
+    if missing:
+        raise ValueError(
+            f"scenario '{spec.name}' requires parameter(s) "
+            f"{', '.join(missing)} (e.g. the path of a board file); "
+            "pass them via --param / spec.params"
+        )
     # Deep copies throughout: registry defaults may hold mutable values
     # (tiled's base_params dict), and neither the builder nor a caller
     # poking at Board.meta may be allowed to corrupt the frozen catalogue
@@ -143,7 +173,7 @@ def generate(
         raise ValueError(
             f"invalid parameter value(s) for scenario '{spec.name}': {exc}"
         ) from exc
-    board.name = spec.board_name
+    board.name = family.name_for(spec)
     board.meta["scenario"] = {
         "name": spec.name,
         "seed": spec.seed,
@@ -307,5 +337,45 @@ register(
             tiles=2, base_params={"traces": 2, "length": 70.0}
         ),
         tags=("scale", "wrapper"),
+    )
+)
+
+
+def _imported_builder(
+    rng: random.Random, path: str = "", sha256: str = "", match: str = ""
+) -> Board:
+    # ``rng`` is deliberately unused: an imported board is a pure
+    # function of the file bytes, which is exactly what makes corpus and
+    # cache keys byte-deterministic for real boards.
+    from ..model.kicad import import_scenario_board
+
+    return import_scenario_board(path, sha256=sha256, match=match)
+
+
+def _imported_board_name(spec: ScenarioSpec) -> str:
+    path = str(spec.params.get("path", ""))
+    stem = path.replace("\\", "/").rsplit("/", 1)[-1]
+    if stem.endswith(".kicad_pcb"):
+        stem = stem[: -len(".kicad_pcb")]
+    sha = str(spec.params.get("sha256", ""))
+    suffix = f"-{sha[:8]}" if sha else ""
+    return f"imported-{stem or 'board'}{suffix}"
+
+
+register(
+    ScenarioFamily(
+        name="imported",
+        builder=_imported_builder,
+        description=(
+            "A real board ingested from a .kicad_pcb file via "
+            "repro.model.kicad — spec params pin the file path and its "
+            "content hash, so the case is rebuildable bit-for-bit."
+        ),
+        difficulty="medium",
+        feasible=True,
+        defaults=dict(path="", sha256="", match=""),
+        tags=("imported", "kicad", "real-board"),
+        requires=("path",),
+        board_namer=_imported_board_name,
     )
 )

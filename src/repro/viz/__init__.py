@@ -1,5 +1,17 @@
 """SVG visualization of boards and routing results."""
 
-from .svg import SvgCanvas, canvas_for_board, color_for, render_board
+from .svg import (
+    SvgCanvas,
+    canvas_for_board,
+    color_for,
+    obstacle_fill,
+    render_board,
+)
 
-__all__ = ["SvgCanvas", "canvas_for_board", "color_for", "render_board"]
+__all__ = [
+    "SvgCanvas",
+    "canvas_for_board",
+    "color_for",
+    "obstacle_fill",
+    "render_board",
+]

@@ -33,6 +33,21 @@ def color_for(index: int) -> str:
     return _PALETTE[index % len(_PALETTE)]
 
 
+#: Obstacle fill by semantic kind, so imported boards read like their
+#: EDA view: keepouts dark, vias drill-grey, pads copper.  Unknown
+#: kinds fall back to the keepout fill.
+_OBSTACLE_FILLS = {
+    "keepout": "#444444",
+    "via": "#6a6a6a",
+    "pad": "#b87333",
+}
+
+
+def obstacle_fill(kind: str) -> str:
+    """The fill colour an obstacle of ``kind`` renders with."""
+    return _OBSTACLE_FILLS.get(kind, _OBSTACLE_FILLS["keepout"])
+
+
 @dataclass
 class SvgCanvas:
     """A tiny retained-mode SVG writer."""
@@ -144,7 +159,9 @@ def render_board(
         for name, area in board.routable_areas.items():
             canvas.polygon(area, fill="#f2f2d0", stroke="#bbbb88", opacity=0.6)
     for obstacle in board.obstacles:
-        canvas.polygon(obstacle.polygon, fill="#444444", opacity=0.85)
+        canvas.polygon(
+            obstacle.polygon, fill=obstacle_fill(obstacle.kind), opacity=0.85
+        )
     if reference:
         for name, line in reference.items():
             canvas.polyline(line, stroke="#999999", width=1.0, dash="4,3")

@@ -1,0 +1,41 @@
+"""Shared paths and imports for the KiCad ingestion suite.
+
+Every test here runs against the committed ``.kicad_pcb`` fixtures —
+real board files, byte-pinned (``.gitattributes`` keeps git from
+normalising the CRLF one), so content hashes in these tests are stable.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.model.kicad import import_board_file
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+GOLDEN = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+
+#: Fixtures that must import with *zero* findings and route end-to-end.
+CLEAN_FIXTURES = ("demo_bus.kicad_pcb", "keepout_escape.kicad_pcb")
+
+#: Every committed fixture, clean or nasty.
+ALL_FIXTURES = CLEAN_FIXTURES + ("nasty.kicad_pcb", "crlf_minimal.kicad_pcb")
+
+
+def fixture_path(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+@pytest.fixture
+def demo_bus():
+    board, report, digest = import_board_file(
+        fixture_path("demo_bus.kicad_pcb"), match="BUS"
+    )
+    return board, report, digest
+
+
+@pytest.fixture
+def nasty():
+    board, report, digest = import_board_file(fixture_path("nasty.kicad_pcb"))
+    return board, report, digest

@@ -1,0 +1,175 @@
+"""The ``repro import`` surface and the graceful-degradation paths of
+``gen``/``corpus`` around the ``imported`` family.
+
+Exit-code contract under test (mirrors the module docstring and README):
+2 = unreadable/unparseable file or unusable invocation, 1 = fatal
+findings or ``--strict`` with warnings, 0 = ok (warnings allowed).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.io import load_board
+
+from conftest import fixture_path
+
+DEMO = fixture_path("demo_bus.kicad_pcb")
+NASTY = fixture_path("nasty.kicad_pcb")
+
+
+@pytest.mark.smoke
+class TestImportCommand:
+    def test_clean_import_exits_zero(self, capsys):
+        assert main(["import", DEMO]) == 0
+        out = capsys.readouterr().out
+        assert "imported demo_bus" in out
+        assert "0 fatal" in out
+
+    def test_json_envelope(self, capsys):
+        assert main(["import", DEMO, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "import_response"
+        assert payload["source"] == DEMO
+        assert len(payload["sha256"]) == 64
+        assert payload["ok"] is True
+        assert payload["counts"]["traces"] == 3
+        assert payload["validation"]["summary"]["fatal"] == 0
+
+    def test_nasty_warnings_are_not_fatal(self, capsys):
+        assert main(["import", NASTY, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["validation"]["summary"]["warnings"] > 0
+
+    def test_strict_promotes_warnings_to_failure(self, capsys):
+        assert main(["import", NASTY, "--strict"]) == 1
+
+    def test_strict_on_clean_board_still_ok(self, capsys):
+        assert main(["import", DEMO, "--strict"]) == 0
+
+    def test_missing_file_is_exit_2(self, capsys):
+        assert main(["import", "no/such.kicad_pcb"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_parse_error_is_exit_2_with_position(self, tmp_path, capsys):
+        bad = tmp_path / "truncated.kicad_pcb"
+        bad.write_text("(kicad_pcb (segment (start 1 2)")
+        assert main(["import", str(bad), "--json"]) == 2
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["kind"] == "error_response"
+        assert payload["error"]["type"] == "KicadParseError"
+        assert payload["error"]["line"] == 1
+        assert payload["error"]["column"] >= 1
+        assert "error:" in captured.err
+
+    def test_out_writes_routable_board_json(self, tmp_path, capsys):
+        out = str(tmp_path / "board.json")
+        assert main(["import", DEMO, "--match", "BUS", "--out", out]) == 0
+        board = load_board(out)
+        assert board.meta["kicad"]["match"] == "BUS"
+        assert [g.name for g in board.groups] == ["BUS"]
+        # ... and the exported board routes through the normal pipeline.
+        assert main(["route", out, "--preset", "fast", "--quiet"]) == 0
+
+    def test_svg_artifact(self, tmp_path, capsys):
+        svg = str(tmp_path / "board.svg")
+        assert main(["import", DEMO, "--svg", svg]) == 0
+        assert os.path.getsize(svg) > 0
+
+    def test_name_override(self, tmp_path, capsys):
+        out = str(tmp_path / "board.json")
+        assert main(["import", DEMO, "--name", "my-board", "--out", out]) == 0
+        assert load_board(out).name == "my-board"
+
+    def test_unknown_match_class_is_exit_2(self, capsys):
+        assert main(["import", DEMO, "--match", "NOPE"]) == 2
+        assert "net class" in capsys.readouterr().err
+
+
+@pytest.mark.smoke
+class TestGracefulDegradation:
+    def test_gen_imported_without_path_is_exit_2(self, capsys):
+        assert main(["gen", "imported"]) == 2
+        err = capsys.readouterr().err
+        assert "requires parameter" in err
+        assert "Traceback" not in err
+
+    def test_gen_list_describes_requires(self, capsys):
+        assert main(["gen", "--list", "imported"]) == 0
+        out = capsys.readouterr().out
+        assert "requires:" in out and "path" in out
+
+    def test_gen_imported_with_params_works(self, tmp_path, capsys):
+        out = str(tmp_path / "b.json")
+        code = main(
+            ["gen", "imported", "--param", f"path={DEMO}", "--out", out]
+        )
+        assert code == 0
+        assert load_board(out).meta["kicad"]["source"] == DEMO
+
+    def test_corpus_imported_without_fixture_is_exit_2(self, capsys):
+        assert main(["corpus", "run", "--scenario", "imported"]) == 2
+        assert "--fixture" in capsys.readouterr().err
+
+    def test_corpus_imported_without_fixture_json_envelope(self, capsys):
+        code = main(["corpus", "run", "--scenario", "imported", "--json"])
+        assert code == 2
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["kind"] == "error_response"
+        assert "--fixture" in payload["error"]["message"]
+
+    def test_corpus_with_fixtures_routes_real_boards(self, capsys):
+        code = main(
+            [
+                "corpus", "run", "--scenario", "imported",
+                "--fixture", DEMO,
+                "--fixture", fixture_path("keepout_escape.kicad_pcb"),
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        (agg,) = payload["scenarios"]
+        assert agg["boards"] == 2 and agg["ok"] == 2
+
+
+@pytest.mark.smoke
+class TestTraceHeader:
+    def test_summarize_names_imported_board_and_source(self, tmp_path, capsys):
+        board_json = str(tmp_path / "board.json")
+        trace_json = str(tmp_path / "trace.json")
+        assert main(["import", DEMO, "--match", "BUS", "--out", board_json]) == 0
+        assert main(
+            [
+                "route", board_json, "--preset", "fast",
+                "--trace", trace_json, "--quiet",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", trace_json]) == 0
+        out = capsys.readouterr().out
+        assert "board demo_bus" in out
+        assert DEMO in out
+
+    def test_synthetic_board_header_has_no_source(self, tmp_path, capsys):
+        board_json = str(tmp_path / "board.json")
+        trace_json = str(tmp_path / "trace.json")
+        assert main(
+            ["gen", "serpentine_bus", "--seed", "0", "--out", board_json]
+        ) == 0
+        assert main(
+            [
+                "route", board_json, "--preset", "fast",
+                "--trace", trace_json, "--quiet",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", trace_json]) == 0
+        out = capsys.readouterr().out
+        assert "board " in out  # name still surfaces...
+        assert ".kicad_pcb" not in out  # ...but no file provenance

@@ -1,0 +1,55 @@
+"""Deep-copy discipline for ``Board.meta["kicad"]`` at every boundary.
+
+The provenance stamp is a nested dict (net tables, class tables,
+counts).  Aliasing it across the io layer or into run results would let
+one consumer's mutation silently corrupt another's view — these are the
+regression tests that pin the isolation.
+"""
+
+import pytest
+
+from repro.api import RoutingSession
+from repro.io import board_from_json, board_to_dict, board_to_json
+from repro.model.kicad import import_board_file
+
+from conftest import fixture_path
+
+
+@pytest.fixture
+def board():
+    board, _report, _digest = import_board_file(
+        fixture_path("demo_bus.kicad_pcb"), match="BUS"
+    )
+    return board
+
+
+def test_board_to_dict_snapshot_is_isolated(board):
+    snapshot = board_to_dict(board)
+    snapshot["meta"]["kicad"]["nets"]["1"] = "CORRUPTED"
+    snapshot["meta"]["kicad"]["net_classes"]["BUS"]["nets"].append("X")
+    assert board.meta["kicad"]["nets"]["1"] == "BUS0"
+    assert "X" not in board.meta["kicad"]["net_classes"]["BUS"]["nets"]
+
+
+def test_loaded_board_does_not_alias_the_document(board):
+    rebuilt = board_from_json(board_to_json(board))
+    assert rebuilt.meta == board.meta
+    rebuilt.meta["kicad"]["counts"]["traces"] = 999
+    rebuilt.meta["kicad"]["layers"].append("Fake.Cu")
+    assert board.meta["kicad"]["counts"]["traces"] == 3
+    assert "Fake.Cu" not in board.meta["kicad"]["layers"]
+
+
+def test_roundtrip_preserves_kicad_meta_bytes(board):
+    once = board_to_json(board)
+    twice = board_to_json(board_from_json(once))
+    assert once == twice
+
+
+def test_run_result_provenance_is_isolated(board):
+    result = RoutingSession(board, config="fast").run()
+    assert result.ok()
+    result.provenance["kicad"]["sha256"] = "tampered"
+    result.provenance["kicad"]["nets"]["1"] = "tampered"
+    assert board.meta["kicad"]["sha256"] != "tampered"
+    assert board.meta["kicad"]["nets"]["1"] == "BUS0"

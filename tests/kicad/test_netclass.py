@@ -1,0 +1,140 @@
+"""Net-class rule binding (repro.drc.netclass) and the same-net
+clearance refinement in the board checker."""
+
+from repro.drc import (
+    ViolationKind,
+    check_board,
+    check_net_classes,
+    net_class_rules,
+    rules_for_net,
+    trace_rules,
+)
+from repro.geometry import Point, Polyline
+from repro.model import Board, DesignRules, RuleSet, Trace
+from repro.model.kicad import import_board_file, parse_board
+
+from conftest import fixture_path
+
+WIDE_GAP_BOARD = (
+    '(kicad_pcb (version 4) (net 0 "") (net 1 "A") (net 2 "B") '
+    '(net_class Default "d" (clearance 0.2)) '
+    '(net_class WIDE "w" (clearance 5.0) (add_net "A") (add_net "B")) '
+    "(gr_rect (start 0 0) (end 50 30) (layer Edge.Cuts)) "
+    "(segment (start 5 14) (end 45 14) (width 0.25) (layer F.Cu) (net 1)) "
+    "(segment (start 5 16) (end 45 16) (width 0.25) (layer F.Cu) (net 2)))"
+)
+
+
+class TestRuleResolution:
+    def test_tables_resolve_to_design_rules(self):
+        board, _ = parse_board(WIDE_GAP_BOARD)
+        table = net_class_rules(board)
+        assert table["WIDE"].dgap == 5.0
+        assert table["Default"].dgap == 0.2
+
+    def test_net_binding_and_default_fallback(self):
+        board, _ = parse_board(WIDE_GAP_BOARD)
+        assert rules_for_net(board, "A").dgap == 5.0
+        assert rules_for_net(board, "UNKNOWN").dgap == 0.2  # Default class
+        assert rules_for_net(board, "").dgap == 0.2
+
+    def test_trace_rules_uses_the_trace_net(self):
+        board, _ = parse_board(WIDE_GAP_BOARD)
+        for trace in board.traces:
+            assert trace_rules(board, trace).dgap == 5.0
+
+    def test_synthetic_board_has_no_class_table(self):
+        board = Board.with_rect_outline(
+            0, 0, 50, 30, DesignRules(dgap=4.0, dobs=2.0, dprotect=2.0)
+        )
+        assert net_class_rules(board) == {}
+        assert rules_for_net(board, "A") is None
+        trace = Trace("t", Polyline([Point(5, 15), Point(45, 15)]))
+        assert trace_rules(board, trace) == board.rules.default
+
+
+class TestNetClassPass:
+    def test_flags_pairs_too_close_for_their_class(self):
+        # 2 mm apart: fine for the 0.2 default, far too close for the
+        # 5 mm WIDE class — only the class pass sees it.
+        board, _ = parse_board(WIDE_GAP_BOARD)
+        assert not [
+            v
+            for v in check_board(board).violations
+            if v.kind == ViolationKind.TRACE_CLEARANCE
+        ]
+        report = check_net_classes(board)
+        assert not report.is_clean()
+        assert all(
+            v.kind == ViolationKind.TRACE_CLEARANCE for v in report.violations
+        )
+        assert report.violations[0].required == 5.0 + 0.25
+
+    def test_clean_when_classes_satisfied(self):
+        board, _, _ = import_board_file(
+            fixture_path("demo_bus.kicad_pcb"), match="BUS"
+        )
+        assert check_net_classes(board).is_clean()
+
+    def test_noop_without_class_table(self, open_board):
+        assert check_net_classes(open_board).is_clean()
+
+    def test_same_net_pairs_exempt(self):
+        text = WIDE_GAP_BOARD.replace("(net 2)", "(net 1)").replace(
+            '(net 2 "B") ', ""
+        )
+        board, _ = parse_board(text)
+        # Both chains carry net A; the class pass must not flag them
+        # against each other.
+        assert len(board.traces) == 2
+        assert {t.net for t in board.traces} == {"A"}
+        assert check_net_classes(board).is_clean()
+
+
+class TestSameNetSkipInCheckBoard:
+    def test_touching_same_net_chains_are_legal(self):
+        # Two chains of one net sharing an endpoint (a branched imported
+        # net): contact would violate d_gap between *different* signals,
+        # but one electrical net touching itself is not a violation.
+        rules = DesignRules(dgap=0.4, dobs=0.2, dprotect=0.0)
+        board = Board(
+            outline=Board.with_rect_outline(0, 0, 50, 30, rules).outline,
+            rules=RuleSet(default=rules),
+        )
+        board.add_trace(
+            Trace(
+                "BR.1",
+                Polyline([Point(5, 15), Point(25, 15)]),
+                width=0.25,
+                net="BR",
+            )
+        )
+        board.add_trace(
+            Trace(
+                "BR.2",
+                Polyline([Point(25, 15), Point(45, 15)]),
+                width=0.25,
+                net="BR",
+            )
+        )
+        assert check_board(board).is_clean()
+
+    def test_empty_nets_still_checked(self):
+        # Synthetic boards leave Trace.net = "" — the skip must not
+        # apply, or every synthetic clearance check dies.
+        rules = DesignRules(dgap=4.0, dobs=2.0, dprotect=0.0)
+        board = Board.with_rect_outline(0, 0, 50, 30, rules)
+        board.add_trace(Trace("a", Polyline([Point(5, 14), Point(45, 14)])))
+        board.add_trace(Trace("b", Polyline([Point(5, 16), Point(45, 16)])))
+        report = check_board(board)
+        assert any(
+            v.kind == ViolationKind.TRACE_CLEARANCE for v in report.violations
+        )
+
+    def test_nasty_fixture_routes_despite_branches(self):
+        from repro.api import RoutingSession
+
+        board, report, _ = import_board_file(fixture_path("nasty.kicad_pcb"))
+        assert any(f.code == "branched-net" for f in report.warnings)
+        result = RoutingSession(board, config="fast").run()
+        assert result.ok(), result.summary()

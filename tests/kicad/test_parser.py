@@ -1,0 +1,293 @@
+"""Parser semantics: segments→traces, rules, obstacles, outline, meta."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.model.kicad import import_board_file, parse_board
+from repro.model.kicad.parser import FALLBACK_CLEARANCE, _chain_segments
+
+from conftest import fixture_path
+
+
+def board_of(text, **kwargs):
+    board, report = parse_board(text, **kwargs)
+    return board, report
+
+
+HEADER = '(kicad_pcb (version 20171130) (generator pcbnew) (net 0 "") (net 1 "CLK") '
+OUTLINE = "(gr_rect (start 0 0) (end 50 30) (layer Edge.Cuts)) "
+
+
+def seg(x0, y0, x1, y1, net=1, width=0.25, layer="F.Cu"):
+    return (
+        f"(segment (start {x0} {y0}) (end {x1} {y1}) (width {width}) "
+        f"(layer {layer}) (net {net})) "
+    )
+
+
+class TestChaining:
+    def test_two_segments_chain_into_one_trace(self):
+        board, _ = board_of(
+            HEADER + OUTLINE + seg(5, 15, 25, 15) + seg(25, 15, 45, 15) + ")"
+        )
+        assert [t.name for t in board.traces] == ["CLK"]
+        assert list(board.traces[0].path.points) == [
+            Point(5, 15), Point(25, 15), Point(45, 15),
+        ]
+
+    def test_file_order_reversed_still_chains(self):
+        board, _ = board_of(
+            HEADER + OUTLINE + seg(25, 15, 45, 15) + seg(5, 15, 25, 15) + ")"
+        )
+        assert len(board.traces) == 1
+        assert len(board.traces[0].path.points) == 3
+
+    def test_branched_net_splits_with_suffixes(self):
+        board, report = board_of(
+            HEADER
+            + OUTLINE
+            + seg(5, 15, 25, 15)
+            + seg(25, 15, 45, 15)
+            + seg(25, 15, 25, 28)
+            + ")"
+        )
+        assert sorted(t.name for t in board.traces) == ["CLK.1", "CLK.2", "CLK.3"]
+        assert all(t.net == "CLK" for t in board.traces)
+        assert "branched-net" in [f.code for f in report.warnings]
+
+    def test_chain_width_is_the_maximum(self):
+        board, _ = board_of(
+            HEADER
+            + OUTLINE
+            + seg(5, 15, 25, 15, width=0.2)
+            + seg(25, 15, 45, 15, width=0.4)
+            + ")"
+        )
+        assert board.traces[0].width == 0.4
+
+    def test_degenerate_and_off_layer_segments_skipped(self):
+        board, _ = board_of(
+            HEADER
+            + OUTLINE
+            + seg(5, 15, 45, 15)
+            + seg(10, 20, 10, 20)  # zero length
+            + seg(5, 25, 45, 25, layer="B.Cu")
+            + ")"
+        )
+        assert len(board.traces) == 1
+
+    def test_chain_segments_unit(self):
+        chains = _chain_segments(
+            [((0, 0), (1, 0), 0.2), ((1, 0), (2, 0), 0.3), ((5, 5), (6, 5), 0.2)]
+        )
+        assert [(len(pts), w) for pts, w in chains] == [(3, 0.3), (2, 0.2)]
+
+    def test_unnamed_net_gets_id_name(self):
+        board, _ = board_of(
+            '(kicad_pcb (net 0 "") (net 7 "") '
+            + OUTLINE
+            + seg(5, 15, 45, 15, net=7)
+            + ")"
+        )
+        assert board.traces[0].name == "n7"
+
+
+class TestNetClasses:
+    WITH_CLASSES = (
+        HEADER
+        + '(net_class Default "d" (clearance 0.2) (trace_width 0.25)) '
+        + '(net_class FAST "f" (clearance 0.5) (trace_width 0.3) (add_net "CLK")) '
+        + OUTLINE
+        + seg(5, 15, 45, 15)
+        + ")"
+    )
+
+    def test_default_class_sets_board_rules(self):
+        board, _ = board_of(self.WITH_CLASSES)
+        assert board.rules.default.dgap == 0.2
+        assert board.rules.default.dobs == 0.2
+
+    def test_classes_preserved_in_meta(self):
+        board, _ = board_of(self.WITH_CLASSES)
+        classes = board.meta["kicad"]["net_classes"]
+        assert classes["FAST"]["nets"] == ["CLK"]
+        assert classes["FAST"]["rules"]["dgap"] == 0.5
+
+    def test_no_default_class_uses_strictest(self):
+        text = self.WITH_CLASSES.replace("net_class Default", "net_class Other")
+        board, _ = board_of(text)
+        assert board.rules.default.dgap == 0.5
+
+    def test_no_classes_fall_back_to_stock_clearance(self):
+        board, _ = board_of(HEADER + OUTLINE + seg(5, 15, 45, 15) + ")")
+        assert board.rules.default.dgap == FALLBACK_CLEARANCE
+
+
+class TestObstacles:
+    def test_keepout_zone_imported(self):
+        board, _ = board_of(
+            HEADER
+            + OUTLINE
+            + "(zone (net 0) (layer F.Cu) (keepout (tracks not_allowed)) "
+            "(polygon (pts (xy 10 10) (xy 20 10) (xy 20 20) (xy 10 20)))) "
+            + seg(5, 25, 45, 25)
+            + ")"
+        )
+        kinds = [o.kind for o in board.obstacles]
+        assert kinds == ["keepout"]
+
+    def test_filled_zone_not_an_obstacle(self):
+        board, report = board_of(
+            HEADER
+            + OUTLINE
+            + "(zone (net 1) (layer F.Cu) "
+            "(polygon (pts (xy 10 10) (xy 20 10) (xy 20 20)))) "
+            + seg(5, 25, 45, 25)
+            + ")"
+        )
+        assert board.obstacles == []
+        assert "filled-zone" in [f.code for f in report.warnings]
+
+    def test_via_on_routed_net_skipped_but_orphan_kept(self):
+        board, _ = board_of(
+            HEADER
+            + '(net 2 "GND") '
+            + OUTLINE
+            + seg(5, 15, 45, 15)
+            + "(via (at 25 15) (size 0.6) (net 1)) "
+            + "(via (at 40 25) (size 0.6) (net 2)) "
+            + ")"
+        )
+        vias = [o for o in board.obstacles if o.kind == "via"]
+        assert len(vias) == 1
+
+    def test_pad_on_routed_net_becomes_info_not_obstacle(self):
+        board, report = board_of(
+            HEADER
+            + OUTLINE
+            + seg(5, 15, 45, 15)
+            + '(footprint "R1" (at 5 15) '
+            '(pad "1" smd rect (at 0 0) (size 1 0.5) (layers F.Cu) (net 1 "CLK"))) '
+            + ")"
+        )
+        assert board.obstacles == []
+        assert "connected-pad" in [f.code for f in report.infos]
+
+    def test_rotated_pad_bounding_box(self):
+        board, _ = board_of(
+            HEADER
+            + OUTLINE
+            + seg(5, 25, 45, 25)
+            + '(footprint "U1" (at 20 10 90) '
+            '(pad "1" smd rect (at 0 0) (size 4 2) (layers F.Cu) (net 0 ""))) '
+            + ")"
+        )
+        pad = next(o for o in board.obstacles if o.kind == "pad")
+        xmin, ymin, xmax, ymax = pad.bounds()
+        # 4x2 rotated 90 degrees -> 2 wide, 4 tall around (20, 10).
+        assert (round(xmax - xmin, 6), round(ymax - ymin, 6)) == (2.0, 4.0)
+        assert pad.name == "U1:1"
+
+    def test_back_side_pad_ignored(self):
+        board, _ = board_of(
+            HEADER
+            + OUTLINE
+            + seg(5, 25, 45, 25)
+            + '(footprint "U1" (at 20 10) '
+            '(pad "1" smd rect (at 0 0) (size 4 2) (layers B.Cu) (net 0 ""))) '
+            + ")"
+        )
+        assert board.obstacles == []
+
+
+class TestOutline:
+    def test_gr_line_loop_becomes_polygon(self):
+        board, report = board_of(
+            HEADER
+            + "(gr_line (start 0 0) (end 50 0) (layer Edge.Cuts)) "
+            "(gr_line (start 50 0) (end 50 30) (layer Edge.Cuts)) "
+            "(gr_line (start 50 30) (end 0 30) (layer Edge.Cuts)) "
+            "(gr_line (start 0 30) (end 0 0) (layer Edge.Cuts)) "
+            + seg(5, 15, 45, 15)
+            + ")"
+        )
+        assert len(board.outline.points) == 4
+        assert not report.findings
+
+    def test_open_loop_falls_back_to_padded_bbox(self):
+        board, report = board_of(
+            HEADER
+            + "(gr_line (start 0 0) (end 50 0) (layer Edge.Cuts)) "
+            "(gr_line (start 50 0) (end 50 30) (layer Edge.Cuts)) "
+            + seg(5, 15, 45, 15)
+            + ")"
+        )
+        assert "open-outline" in [f.code for f in report.warnings]
+        xmin, ymin, xmax, ymax = board.outline.bounds()
+        assert xmin < 5 and xmax > 45  # padded beyond the copper
+
+    def test_no_outline_at_all(self):
+        board, report = board_of(HEADER + seg(5, 15, 45, 15) + ")")
+        assert "no-outline" in [f.code for f in report.warnings]
+        xmin, ymin, xmax, ymax = board.outline.bounds()
+        assert xmin < 5 and xmax > 45 and ymin < 15 < ymax
+
+
+class TestMatchBinding:
+    def test_unknown_class_raises_value_error(self):
+        with pytest.raises(ValueError, match="net class 'NOPE'"):
+            parse_board(HEADER + OUTLINE + seg(5, 15, 45, 15) + ")", match="NOPE")
+
+    def test_class_without_routed_traces_raises(self):
+        text = (
+            HEADER
+            + '(net_class EMPTY "e" (clearance 0.2) (add_net "CLK")) '
+            + OUTLINE
+            + ")"
+        )
+        with pytest.raises(ValueError, match="no routed traces"):
+            parse_board(text, match="EMPTY")
+
+    def test_single_member_group_warns(self):
+        text = (
+            HEADER
+            + '(net_class ONE "o" (clearance 0.2) (add_net "CLK")) '
+            + OUTLINE
+            + seg(5, 15, 45, 15)
+            + ")"
+        )
+        board, report = parse_board(text, match="ONE")
+        assert [g.name for g in board.groups] == ["ONE"]
+        assert "single-member-group" in [f.code for f in report.warnings]
+
+    def test_demo_bus_group_targets_longest(self):
+        board, report, _ = import_board_file(
+            fixture_path("demo_bus.kicad_pcb"), match="BUS"
+        )
+        (group,) = board.groups
+        assert group.name == "BUS"
+        assert len(group.members) == 3
+        # No explicit target: resolves to the longest member (the
+        # smallest legal common target).
+        assert group.target_length is None
+        assert group.resolved_target() == max(
+            t.path.length() for t in board.traces
+        )
+
+
+class TestMeta:
+    def test_provenance_stamp(self, demo_bus):
+        board, report, digest = demo_bus
+        kicad = board.meta["kicad"]
+        assert kicad["sha256"] == digest
+        assert kicad["source"].endswith("demo_bus.kicad_pcb")
+        assert kicad["nets"]["1"] == "BUS0"
+        assert kicad["match"] == "BUS"
+        assert kicad["counts"]["traces"] == len(board.traces)
+        assert kicad["validation"] == report.summary()
+        assert board.name == "demo_bus"
+
+    def test_unicode_and_escapes_survive(self):
+        board, report, _ = import_board_file(fixture_path("nasty.kicad_pcb"))
+        nets = board.meta["kicad"]["nets"].values()
+        assert any("Ω" in name for name in nets)

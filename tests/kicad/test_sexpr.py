@@ -1,0 +1,119 @@
+"""Tokenizer and reader edge cases for the ``.kicad_pcb`` s-expression
+front-end: escapes, unicode, CRLF, truncation, positions."""
+
+import pytest
+
+from repro.model.kicad import KicadParseError, parse_sexpr
+from repro.model.kicad.sexpr import tokenize
+
+
+def parse_one(text):
+    return parse_sexpr(text)
+
+
+class TestQuotedStrings:
+    def test_embedded_parens_do_not_open_nodes(self):
+        root = parse_one('(kicad_pcb (net 1 "DATA(0)"))')
+        net = root.child("net")
+        assert net.atoms == [1, "DATA(0)"]
+
+    def test_escaped_quote_and_backslash(self):
+        root = parse_one(r'(kicad_pcb (title "a \"quoted\" \\ name"))')
+        assert root.value("title") == 'a "quoted" \\ name'
+
+    def test_named_escapes(self):
+        root = parse_one(r'(kicad_pcb (title "a\tb\nc\rd"))')
+        assert root.value("title") == "a\tb\nc\rd"
+
+    def test_unknown_escape_stands_for_itself(self):
+        root = parse_one(r'(kicad_pcb (title "\q"))')
+        assert root.value("title") == "q"
+
+    def test_unicode_net_name(self):
+        root = parse_one('(kicad_pcb (net 1 "Ω_SENSE/η"))')
+        assert root.child("net").atoms[1] == "Ω_SENSE/η"
+
+    def test_unterminated_string_positions(self):
+        with pytest.raises(KicadParseError) as exc:
+            parse_one('(kicad_pcb\n  (net 1 "oops))')
+        assert exc.value.line == 2
+        assert exc.value.column == 10  # the opening quote
+
+    def test_unterminated_escape(self):
+        with pytest.raises(KicadParseError, match="escape"):
+            list(tokenize('(x "a\\'))
+
+
+class TestLineEndings:
+    def test_crlf_counts_as_one_break(self):
+        tokens = list(tokenize('(kicad_pcb\r\n(net 1 "a")'))
+        net = next(t for t in tokens if t.text == "net")
+        assert (net.line, net.column) == (2, 2)
+
+    def test_lone_cr_breaks_too(self):
+        tokens = list(tokenize('(kicad_pcb\r(net 1 "a")'))
+        net = next(t for t in tokens if t.text == "net")
+        assert (net.line, net.column) == (2, 2)
+
+    def test_crlf_document_parses_like_lf(self):
+        lf = '(kicad_pcb (version 4) (net 1 "CLK"))'
+        crlf = lf.replace(" (", " \r\n(")
+        a, b = parse_one(lf), parse_one(crlf)
+        assert a.value("version") == b.value("version") == 4
+        assert a.child("net").atoms == b.child("net").atoms
+
+
+class TestTruncationAndGarbage:
+    def test_empty_document(self):
+        with pytest.raises(KicadParseError, match="empty document"):
+            parse_one("   \n  ")
+
+    def test_root_must_be_a_node(self):
+        with pytest.raises(KicadParseError, match="expected '\\('"):
+            parse_one("kicad_pcb")
+
+    def test_truncated_input_names_the_open_node(self):
+        with pytest.raises(KicadParseError, match=r"\(segment \.\.\.\)") as exc:
+            parse_one("(kicad_pcb (segment (start 1 2)")
+        assert exc.value.line == 1
+        assert exc.value.column > 1
+
+    def test_trailing_garbage(self):
+        with pytest.raises(KicadParseError, match="trailing data"):
+            parse_one("(kicad_pcb) extra")
+
+    def test_extra_close_paren_is_trailing_data(self):
+        with pytest.raises(KicadParseError, match="trailing data"):
+            parse_one("(kicad_pcb))")
+
+
+class TestNodeShapes:
+    def test_numeric_head_layer_row(self):
+        root = parse_one("(kicad_pcb (layers (0 F.Cu signal) (31 B.Cu signal)))")
+        rows = root.child("layers").nodes
+        assert [r.name for r in rows] == ["0", "31"]
+        assert rows[0].atoms == ["F.Cu", "signal"]
+
+    def test_atom_conversion(self):
+        root = parse_one("(kicad_pcb (version 20171130) (width -0.25) (layer F.Cu))")
+        assert root.value("version") == 20171130
+        assert root.value("width") == -0.25
+        assert root.value("layer") == "F.Cu"
+
+    def test_accessors(self):
+        root = parse_one("(kicad_pcb (net 1 a) (net 2 b) (general (thickness 1.6)))")
+        assert [n.atoms[0] for n in root.children("net")] == [1, 2]
+        assert root.child("general").value("thickness") == 1.6
+        assert root.child("missing") is None
+        assert root.value("missing", default="x") == "x"
+        assert root.child("net").atom(5, default=None) is None
+        assert sum(1 for _ in root.walk()) == 5  # root + 2 nets + general + thickness
+
+    def test_empty_node_tolerated(self):
+        root = parse_one("(kicad_pcb ())")
+        assert root.nodes[0].name == ""
+
+    def test_positions_are_recorded(self):
+        root = parse_one("(kicad_pcb\n  (net 1 a))")
+        net = root.child("net")
+        assert (net.line, net.column) == (2, 3)

@@ -1,0 +1,135 @@
+"""Validator behaviour: structured findings, never exceptions.
+
+The per-fixture golden summaries under ``golden/`` pin the exact finding
+counts (and the fixture's content hash, so a fixture edit that changes
+the report also fails loudly here, pointing at the goldens to
+regenerate).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.model.kicad import (
+    FATAL,
+    INFO,
+    ValidationReport,
+    WARNING,
+    import_board_file,
+    parse_sexpr,
+    validate_tree,
+)
+
+from conftest import ALL_FIXTURES, GOLDEN, fixture_path
+
+
+def validate(text):
+    return validate_tree(parse_sexpr(text))
+
+
+class TestSeverities:
+    def test_wrong_root_is_fatal(self):
+        report = validate("(not_a_board (net 1 a))")
+        assert [f.code for f in report.fatal] == ["not-kicad-pcb"]
+        assert not report.ok()
+
+    def test_empty_board_is_fatal(self):
+        report = validate("(kicad_pcb (version 4))")
+        assert "no-content" in [f.code for f in report.fatal]
+
+    def test_net_table_alone_is_importable(self):
+        report = validate('(kicad_pcb (net 0 "") (net 1 "CLK"))')
+        assert report.ok()
+        # ... though the missing outline is called out.
+        assert "no-outline" in [f.code for f in report.warnings]
+
+    def test_off_layer_segment_warns_with_net_subject(self):
+        report = validate(
+            '(kicad_pcb (net 1 "CLK") (segment (start 0 0) (end 1 0)'
+            " (width 0.2) (layer B.Cu) (net 1)))"
+        )
+        finding = next(f for f in report.warnings if f.code == "off-layer-segment")
+        assert finding.subject == "CLK"
+        assert finding.line == 1
+
+    def test_strict_mode_rejects_warnings(self):
+        report = validate(
+            '(kicad_pcb (net 1 "a") (via (at 1 1) (size 0.6) (net 1)))'
+        )
+        assert report.ok()
+        assert not report.ok(strict=True)
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            ValidationReport().add("oops", "code", "msg")
+
+
+class TestBranchedNets:
+    T_NET = (
+        '(kicad_pcb (net 1 "T") (gr_rect (start 0 0) (end 10 10) (layer Edge.Cuts))'
+        " (segment (start 0 5) (end 5 5) (width 0.2) (layer F.Cu) (net 1))"
+        " (segment (start 5 5) (end 10 5) (width 0.2) (layer F.Cu) (net 1))"
+        " (segment (start 5 5) (end 5 0) (width 0.2) (layer F.Cu) (net 1)))"
+    )
+
+    def test_three_way_junction_reported(self):
+        report = validate(self.T_NET)
+        finding = next(f for f in report.warnings if f.code == "branched-net")
+        assert "'T'" in finding.message and "1 junction" in finding.message
+
+    def test_chain_is_not_a_branch(self):
+        report = validate(self.T_NET.replace("(end 5 0)", "(end 10 5)", 1))
+        # Third segment now continues the line: degree 2 everywhere...
+        # except the overlapping endpoint makes degree 3 at (10,5)? No:
+        # (5,5) holds three endpoints. Rebuild a genuine 3-chain instead.
+        report = validate(
+            '(kicad_pcb (net 1 "L") (gr_rect (start 0 0) (end 20 10) (layer Edge.Cuts))'
+            " (segment (start 0 5) (end 5 5) (width 0.2) (layer F.Cu) (net 1))"
+            " (segment (start 5 5) (end 10 5) (width 0.2) (layer F.Cu) (net 1))"
+            " (segment (start 10 5) (end 15 5) (width 0.2) (layer F.Cu) (net 1)))"
+        )
+        assert "branched-net" not in [f.code for f in report.findings]
+
+
+class TestToDictShape:
+    def test_finding_dict_drops_empty_position(self):
+        report = ValidationReport()
+        report.add(INFO, "x", "no position")
+        assert "line" not in report.findings[0].to_dict()
+
+    def test_report_dict_has_summary_and_findings(self):
+        report = ValidationReport()
+        report.add(WARNING, "a", "m1")
+        report.add(FATAL, "b", "m2")
+        doc = report.to_dict()
+        assert doc["summary"] == {
+            "fatal": 1,
+            "warnings": 1,
+            "infos": 0,
+            "by_code": {"a": 1, "b": 1},
+        }
+        assert len(doc["findings"]) == 2
+
+
+@pytest.mark.parametrize("name", ALL_FIXTURES)
+def test_fixture_summary_matches_golden(name):
+    stem = os.path.splitext(name)[0]
+    with open(os.path.join(GOLDEN, f"{stem}.summary.json")) as fh:
+        golden = json.load(fh)
+    board, report, digest = import_board_file(fixture_path(name))
+    assert digest == golden["sha256"], (
+        f"{name} changed on disk — regenerate tests/kicad/golden/"
+    )
+    assert report.summary() == golden["summary"]
+
+
+def test_clean_fixture_count():
+    """At least two committed fixtures import with zero fatal findings
+    (the ISSUE's acceptance bar); nasty stays warning-rich but non-fatal."""
+    reports = {
+        name: import_board_file(fixture_path(name))[1] for name in ALL_FIXTURES
+    }
+    assert sum(1 for r in reports.values() if not r.findings) >= 2
+    nasty = reports["nasty.kicad_pcb"]
+    assert not nasty.fatal and nasty.warnings

@@ -22,9 +22,13 @@ from repro.scenarios import generate, list_scenarios
 SEEDS = (0, 1, 7)
 
 #: Every (family, seed) pair under test, small params for speed.
+#: Families with required params (``imported`` needs a board file) are
+#: file-driven, not seed-driven — they get their own suite under
+#: tests/kicad/ instead of the generator property sweep.
 CASES = [
     pytest.param(family, seed, id=f"{family.name}-s{seed}")
     for family in list_scenarios()
+    if not family.requires
     for seed in SEEDS
 ]
 
@@ -87,6 +91,7 @@ def _member_path(board, member_name):
 FEASIBLE_CASES = [
     pytest.param(family, seed, id=f"{family.name}-s{seed}")
     for family in list_scenarios(feasible_only=True)
+    if not family.requires
     for seed in (0, 1)
 ]
 
