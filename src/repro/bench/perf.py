@@ -16,7 +16,9 @@ Phases
                ``exhaustive=True`` on a routed Table I board replicated
                to several sizes;
 ``extension``  the Alg. 1 extension loop on the Table II via-field
-               design;
+               design — the incremental engine against the seed's
+               per-iteration-rebuild reference, with bit-exact
+               equivalence asserted on every routed coordinate;
 ``session``    end-to-end :class:`~repro.api.RoutingSession` runs on
                Table I cases;
 ``server``     cold-vs-warm ``POST /route`` latency through a live
@@ -37,7 +39,12 @@ scenario boards of growing tile count, so throughput scaling is
 measured on generated workloads instead of the fixed paper designs.
 
 ``--quick`` shrinks every phase to its smallest scale with one repeat —
-the CI smoke configuration.
+the CI smoke configuration.  ``--profile`` (:func:`run_profile`) writes
+a cProfile top-25 cumulative table for the match hot path next to the
+baseline, and :func:`run_perf_guard` (``bench --perf --guard``) fails a
+run whose extension median regresses more than :data:`GUARD_MAX_RATIO`
+against the committed ``BENCH_perf.json`` after normalizing machine
+speed by the DTW reference recurrence.
 """
 
 from __future__ import annotations
@@ -236,23 +243,52 @@ def _phase_drc(scales: Sequence[int], repeats: int) -> List[Dict[str, Any]]:
     return rows
 
 
+def _result_fingerprint(result: Any) -> Tuple[str, ...]:
+    """Bit-exact identity of an extension result: every routed float."""
+    return tuple(
+        [repr(result.achieved), str(result.iterations), str(result.patterns_applied)]
+        + [f"{p.x!r},{p.y!r}" for p in result.trace.path.points]
+    )
+
+
 def _phase_extension(dgaps: Sequence[float], repeats: int) -> List[Dict[str, Any]]:
+    """Incremental engine vs. the per-iteration-rebuild reference.
+
+    ``extend_s``/``min_s`` time the engine the sessions actually run
+    (``auto``); ``reference_s`` re-times the seed loop in situ so
+    ``speedup`` compares like with like on this machine.  ``identical``
+    is the bit-exact equivalence gate (achieved length, iteration count,
+    and every routed coordinate compared by ``repr``) — the same
+    contract the dtw/drc phases assert for their fast paths.
+    """
     rows: List[Dict[str, Any]] = []
     for dgap in dgaps:
-        def run_once(dgap: float = dgap):
+        def run_once(engine: str, dgap: float = dgap):
             board, trace = make_table2_design(dgap)
             extender = _table2_extender(board, trace, use_dp=True)
-            return extender.extension_upper_bound(trace)
+            extender.config.engine = engine
+            return extender.extension_upper_bound(trace), extender.resolved_engine()
 
-        times, result = _time_all(run_once, repeats)
+        times, (result, engine) = _time_all(lambda: run_once("auto"), repeats)
+        ref_times, (ref_result, _) = _time_all(
+            lambda: run_once("reference"), repeats
+        )
+        extend_s = _median(times)
+        reference_s = _median(ref_times)
         rows.append(
             {
                 "dgap": dgap,
-                "extend_s": _median(times),
+                "engine": engine,
+                "extend_s": extend_s,
                 "min_s": min(times),
+                "reference_s": reference_s,
+                "speedup": reference_s / extend_s if extend_s > 0 else None,
                 "iterations": result.iterations,
                 "patterns": result.patterns_applied,
                 "achieved": result.achieved,
+                "stale_drops": result.stale_drops,
+                "identical": _result_fingerprint(result)
+                == _result_fingerprint(ref_result),
             }
         )
     return rows
@@ -261,6 +297,11 @@ def _phase_extension(dgaps: Sequence[float], repeats: int) -> List[Dict[str, Any
 #: Per-iteration rows kept in the breakdown (a deep run can iterate
 #: hundreds of times; the quantiles summarise the tail).
 MAX_BREAKDOWN_ITERATIONS = 40
+
+
+def _attr_ms(span: Dict[str, Any], key: str) -> Optional[float]:
+    value = (span.get("attrs") or {}).get(key)
+    return None if value is None else value * 1e3
 
 
 def _phase_extension_breakdown(
@@ -326,9 +367,34 @@ def _phase_extension_breakdown(
             "dtw_calls": (span.get("attrs") or {}).get("dtw_calls"),
             "applied": (span.get("attrs") or {}).get("applied"),
             "gain": (span.get("attrs") or {}).get("gain"),
+            "env_query_ms": _attr_ms(span, "env_query_s"),
+            "dp_ms": _attr_ms(span, "dp_s"),
+            "trim_ms": _attr_ms(span, "trim_s"),
+            "verify_ms": _attr_ms(span, "verify_s"),
+            "pruned": (span.get("attrs") or {}).get("pruned"),
         }
         for span in iter_spans[:MAX_BREAKDOWN_ITERATIONS]
     ]
+
+    # Where the iteration time goes, summed over every iteration of the
+    # traced run: environment window queries vs. the DP itself vs. the
+    # trim/chain build vs. post-apply verification.  ``other_s`` is what
+    # the four annotated stages don't cover (queue work, span overhead,
+    # length accounting); ``pruned_iterations`` counts iterations the
+    # upper-bound gate skipped before running the DP.
+    def _stage_total(key: str) -> float:
+        return sum(
+            (span.get("attrs") or {}).get(key) or 0.0 for span in iter_spans
+        )
+
+    stages = {
+        key: _stage_total(key)
+        for key in ("env_query_s", "dp_s", "trim_s", "verify_s")
+    }
+    stages["other_s"] = max(0.0, sum(durations) - sum(stages.values()))
+    stages["pruned_iterations"] = sum(
+        1 for span in iter_spans if (span.get("attrs") or {}).get("pruned")
+    )
 
     # The fast-path microbench: a span call with no collector active.
     n = 100_000
@@ -343,6 +409,7 @@ def _phase_extension_breakdown(
             "dgap": dgap,
             "iterations": len(iter_spans),
             "iterations_recorded": len(per_iteration),
+            "stages": stages,
             "per_iteration": per_iteration,
             "iteration_ms": {
                 "p50": _percentile(durations, 50) * 1e3 if durations else None,
@@ -695,15 +762,24 @@ def run_perf(
         for row in phases["extension"]:
             print(
                 f"extension dgap={row['dgap']:.1f}  {row['extend_s']:.3f} s"
-                f"  ({row['iterations']} iterations, {row['patterns']} patterns)"
+                f"  reference {row['reference_s']:.3f} s"
+                f"  ({_fmt_speedup(row['speedup'])}, engine={row['engine']},"
+                f" identical={row['identical']},"
+                f" {row['iterations']} iterations, {row['patterns']} patterns)"
             )
         for row in phases["extension_breakdown"]:
             over = row["overhead"]
             tracing_x = over["tracing_overhead"]
+            stages = row["stages"]
             print(
                 f"breakdown dgap={row['dgap']:.1f}  iters={row['iterations']}"
                 f"  p50 {row['iteration_ms']['p50']:.2f} ms"
                 f"  p99 {row['iteration_ms']['p99']:.2f} ms"
+                f"  env {stages['env_query_s']*1e3:.1f} ms"
+                f"  dp {stages['dp_s']*1e3:.1f} ms"
+                f"  trim {stages['trim_s']*1e3:.1f} ms"
+                f"  verify {stages['verify_s']*1e3:.1f} ms"
+                f"  pruned={stages['pruned_iterations']}"
                 f"  tracing x{tracing_x:.3f}"
                 f"  noop-span {over['noop_span_us']:.2f} us"
             )
@@ -740,3 +816,144 @@ def run_perf(
         if out:
             print(f"wrote {out}")
     return payload
+
+
+# -- profiling --------------------------------------------------------------------------
+
+
+#: Rows kept from the cumulative-time profile table.
+PROFILE_TOP_N = 25
+
+
+def run_profile(
+    out: str = "BENCH_profile.txt",
+    quick: bool = False,
+    verbose: bool = True,
+) -> str:
+    """cProfile the length-matching hot path; write the top-25 table.
+
+    Profiles the same Table II extension workload the ``extension``
+    phase times — the core of the session's match stage — and writes the
+    ``PROFILE_TOP_N`` heaviest functions by *cumulative* time next to
+    ``BENCH_perf.json`` (CI uploads both as artifacts).  Cumulative
+    ordering keeps the call-tree shape readable: the extension loop at
+    the top, the environment/DP/shrink kernels below it in cost order.
+    Returns the output path.
+    """
+    import cProfile
+    import pstats
+
+    dgaps = (4.0,) if quick else (2.5, 4.0)
+    profiler = cProfile.Profile()
+    for dgap in dgaps:
+        board, trace = make_table2_design(dgap)
+        extender = _table2_extender(board, trace, use_dp=True)
+        profiler.enable()
+        extender.extension_upper_bound(trace)
+        profiler.disable()
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(
+            "# Length-matching hot path (Table II extension, "
+            f"dgaps={list(dgaps)}), top {PROFILE_TOP_N} by cumulative time\n"
+        )
+        stats = pstats.Stats(profiler, stream=fh)
+        stats.sort_stats("cumulative")
+        stats.print_stats(PROFILE_TOP_N)
+    if verbose:
+        print(f"wrote {out}")
+    return out
+
+
+# -- regression guard -------------------------------------------------------------------
+
+
+#: A phase median this many times slower than the committed baseline
+#: (after machine-speed normalization) fails the guard.
+GUARD_MAX_RATIO = 2.0
+
+
+def _dtw_reference_times(payload: Dict[str, Any]) -> Dict[int, float]:
+    return {
+        row["nodes"]: row["reference_s"]
+        for row in payload.get("phases", {}).get("dtw", ())
+        if row.get("reference_s")
+    }
+
+
+def check_perf_guard(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_ratio: float = GUARD_MAX_RATIO,
+) -> List[str]:
+    """Compare a fresh perf run against the committed baseline.
+
+    Returns a list of problems (empty = pass).  The guard watches the
+    extension phase — the paper's core loop — on the dgap rows the two
+    payloads share, and also re-asserts the run's own equivalence flags
+    (an engine that got fast by changing the answer must fail here, not
+    just in the test suite).
+
+    CI machines and the machine that committed the baseline run at
+    different speeds, so raw medians can't be compared directly.  The
+    pure-Python DTW reference recurrence rides along in every payload as
+    the machine-speed proxy: it exercises the same interpreter doing the
+    same kind of float work, so the ratio of its times estimates the
+    hardware ratio, and each allowance is the baseline median scaled by
+    that proxy times ``max_ratio``.
+    """
+    problems: List[str] = []
+    cur_ref = _dtw_reference_times(current)
+    base_ref = _dtw_reference_times(baseline)
+    common_nodes = sorted(set(cur_ref) & set(base_ref))
+    if common_nodes:
+        # The largest shared size has the least fixed-overhead noise.
+        n = common_nodes[-1]
+        machine_scale = cur_ref[n] / base_ref[n]
+    else:
+        problems.append("no shared dtw scale to normalize machine speed")
+        machine_scale = 1.0
+
+    base_rows = {
+        row["dgap"]: row
+        for row in baseline.get("phases", {}).get("extension", ())
+    }
+    cur_rows = current.get("phases", {}).get("extension", ())
+    if not cur_rows:
+        problems.append("current payload has no extension phase")
+    for row in cur_rows:
+        if row.get("identical") is False:
+            problems.append(
+                f"extension dgap={row['dgap']}: engines disagree "
+                "(identical=False)"
+            )
+        base = base_rows.get(row["dgap"])
+        if base is None:
+            continue
+        allowed = base["extend_s"] * machine_scale * max_ratio
+        if row["extend_s"] > allowed:
+            problems.append(
+                f"extension dgap={row['dgap']}: median {row['extend_s']:.4f}s "
+                f"exceeds {allowed:.4f}s "
+                f"(baseline {base['extend_s']:.4f}s x machine "
+                f"{machine_scale:.2f} x ratio {max_ratio:.1f})"
+            )
+    return problems
+
+
+def run_perf_guard(
+    baseline_path: str,
+    current: Dict[str, Any],
+    max_ratio: float = GUARD_MAX_RATIO,
+    verbose: bool = True,
+) -> bool:
+    """Load the committed baseline and guard ``current`` against it."""
+    with open(baseline_path, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    problems = check_perf_guard(current, baseline, max_ratio=max_ratio)
+    if verbose:
+        if problems:
+            for problem in problems:
+                print(f"perf-guard FAIL: {problem}")
+        else:
+            print(f"perf-guard OK vs {baseline_path}")
+    return not problems

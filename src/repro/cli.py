@@ -16,6 +16,8 @@ Subcommands::
     python -m repro bench all --outdir out
     python -m repro bench --perf --quick
     python -m repro bench --perf --scenarios
+    python -m repro bench --perf --profile
+    python -m repro bench --perf --quick --guard BENCH_perf.json --out out/perf.json
     python -m repro route board.json --trace trace.json
     python -m repro trace summarize trace.json
     python -m repro serve --trace-dir traces/
@@ -58,6 +60,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -409,6 +412,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PERF.json",
         help="with --perf: where to write the baseline "
         "(default: BENCH_perf.json)",
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="with --perf: also cProfile the match hot path and write "
+        "the top-25 cumulative table next to the baseline",
+    )
+    bench.add_argument(
+        "--guard", default=None, metavar="BASELINE.json",
+        help="with --perf: fail (exit 1) if the extension-phase median "
+        "regresses more than 2x against this committed baseline "
+        "(machine speed normalized by the DTW reference times)",
     )
     bench.add_argument(
         "--outdir", default=None,
@@ -985,13 +999,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        from .bench.perf import run_perf
+        from .bench.perf import run_perf, run_perf_guard, run_profile
 
-        run_perf(
+        payload = run_perf(
             quick=args.quick,
             out=args.out or "BENCH_perf.json",
             scenarios=args.scenarios,
         )
+        if args.profile:
+            out = args.out or "BENCH_perf.json"
+            sibling = os.path.join(
+                os.path.dirname(out) or ".", "BENCH_profile.txt"
+            )
+            run_profile(out=sibling, quick=args.quick)
+        if args.guard:
+            if not run_perf_guard(args.guard, payload):
+                return 1
         return 0
     if args.what is None:
         print(
@@ -1006,6 +1029,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             ("--quick", args.quick),
             ("--out", args.out is not None),
             ("--scenarios", args.scenarios),
+            ("--profile", args.profile),
+            ("--guard", args.guard is not None),
         )
         if used
     ]

@@ -7,7 +7,13 @@ from .pattern import (
     patterns_to_chain,
 )
 from .ura import URA
-from .shrink import ShrinkEnvironment, TOUCH_EPS
+from .shrink import (
+    ShrinkEnvironment,
+    TOUCH_EPS,
+    VectorShrinkEnvironment,
+    vector_kernels_available,
+)
+from .scene import ClearanceScene
 from .dp import DPConfig, DPResult, SegmentDP
 from .extension import ExtensionConfig, ExtensionResult, TraceExtender
 from .baseline import FixedTrackConfig, FixedTrackMeander
@@ -27,6 +33,9 @@ __all__ = [
     "URA",
     "ShrinkEnvironment",
     "TOUCH_EPS",
+    "VectorShrinkEnvironment",
+    "vector_kernels_available",
+    "ClearanceScene",
     "DPConfig",
     "DPResult",
     "SegmentDP",

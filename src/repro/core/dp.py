@@ -83,21 +83,32 @@ class SegmentDP:
     that side (each side sees the world mirrored into its own +y frame).
     """
 
-    def __init__(self, config: DPConfig, envs: Dict[int, ShrinkEnvironment]):
+    def __init__(
+        self,
+        config: DPConfig,
+        envs: Dict[int, ShrinkEnvironment],
+        col_bounds: Optional[Dict[int, List[float]]] = None,
+    ):
         self.config = config
         self.envs = envs
         self._height_cache: Dict[Tuple[int, int, int], float] = {}
         # Per-direction, per-point admissible height upper bound from arm
         # column nodes (prefilter; see ShrinkEnvironment.column_node_bound).
-        self._col_bound: Dict[int, List[float]] = {}
-        for d, env in envs.items():
-            self._col_bound[d] = [
-                min(
-                    config.h_init,
-                    env.column_node_bound(i * config.step, config.g) - config.g,
-                )
-                for i in range(config.n)
-            ]
+        # The incremental engine computes these in one vectorized sweep and
+        # injects them; built scalar-by-scalar otherwise.
+        if col_bounds is not None:
+            self._col_bound = col_bounds
+        else:
+            self._col_bound = {}
+            for d, env in envs.items():
+                self._col_bound[d] = [
+                    min(
+                        config.h_init,
+                        env.column_node_bound(i * config.step, config.g)
+                        - config.g,
+                    )
+                    for i in range(config.n)
+                ]
 
     # -- heights ---------------------------------------------------------------
 

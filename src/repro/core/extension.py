@@ -15,6 +15,28 @@ are trimmed by ``2g`` at the shared node (their URA would otherwise make
 every node-foot pattern infeasible); a post-apply rollback check restores
 the trace whenever that approximation would let a cross-structure
 ``d_gap`` conflict through (DESIGN.md, "Adjacent-segment URAs").
+
+Two engines implement the loop:
+
+* the **reference** engine — the seed implementation kept verbatim: every
+  iteration rebuilds the clearance environment by exhaustive scan and
+  addresses queue entries by rounded-coordinate segment keys.  Always
+  available; the equivalence oracle.
+* the **incremental** engine — persistent state across iterations: a
+  :class:`~repro.core.scene.ClearanceScene` answers the window queries
+  the exhaustive scan used to, a :class:`_PathState` keeps stable segment
+  handles (no rounded-key aliasing, stale handles invalidated at mutation
+  time) plus incremental per-segment length/bounds/rectangle caches, the
+  shrink environments are :class:`~repro.core.shrink.VectorShrinkEnvironment`
+  built from one batched local-frame transform, and a per-segment
+  feasibility prune skips the DP on segments that provably cannot hold
+  any pattern.  Produces bit-identical routed geometry
+  (``tests/core/test_engine_equivalence.py``); requires numpy
+  (:func:`~repro.core.shrink.vector_kernels_available`).
+
+``ExtensionConfig.engine`` selects: ``"auto"`` (incremental when the
+vector kernels are available, the default), ``"reference"``,
+``"incremental"`` (falls back to reference without numpy).
 """
 
 from __future__ import annotations
@@ -22,7 +44,8 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from .. import obs
 from ..drc.checker import segments_parallel_conflict
@@ -37,7 +60,17 @@ from ..geometry import (
 from ..model import DesignRules, Obstacle, Trace
 from .dp import DPConfig, SegmentDP
 from .pattern import Pattern, chain_new_segments, patterns_to_chain
-from .shrink import ShrinkEnvironment
+from .scene import ClearanceScene
+from .shrink import (
+    ShrinkEnvironment,
+    VectorShrinkEnvironment,
+    vector_kernels_available,
+)
+
+try:  # pragma: no cover - gated by vector_kernels_available()
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 _KEY_DIGITS = 6
 
@@ -69,6 +102,9 @@ class ExtensionConfig:
     mirrored_chevrons: bool = False
     #: See DPConfig.allow_plocal (ablation switch for connected patterns).
     allow_plocal: bool = True
+    #: Engine selection: "auto" | "reference" | "incremental" (see module
+    #: docstring).  Both engines produce bit-identical geometry.
+    engine: str = "auto"
 
 
 @dataclass
@@ -82,6 +118,11 @@ class ExtensionResult:
     iterations: int
     patterns_applied: int
     rollbacks: int
+    #: Queue entries that addressed a segment no longer in the path when
+    #: popped (reference engine: rounded-key lookup misses; incremental
+    #: engine: invalidated handles).  Organically 0 — the regression
+    #: surface of the stale-key bugfix.
+    stale_drops: int = 0
 
     @property
     def gain(self) -> float:
@@ -105,6 +146,131 @@ def _segment_key(seg: Segment) -> Tuple[float, float, float, float]:
     )
 
 
+class _PathState:
+    """The incremental engine's mutable-path bookkeeping.
+
+    The reference engine addresses queue entries by rounded-coordinate
+    keys and re-derives everything else (segment objects, bounds, the
+    trace length) from the immutable :class:`Polyline` each time.  This
+    class keeps all of it as spliced parallel lists:
+
+    * **handles** — each segment instance gets a stable integer handle;
+      ``replace_segment`` splices shift positions, never handles.  The
+      handle of the replaced segment is invalidated *at mutation time*,
+      so a later pop cannot alias onto an unrelated segment the way two
+      rounded keys can collide (the stale-duplicate-key bug).
+    * **lengths** — per-segment lengths spliced alongside, holding the
+      exact floats ``Polyline.length()`` sums; ``length()`` re-adds them
+      left-to-right so the total stays bit-identical to a full
+      recompute.
+    * **geometry caches** — per-segment bounds, degeneracy flags and
+      (lazily) the ``oriented_rectangle`` corner arrays the environment
+      assembly reuses every iteration.
+    """
+
+    __slots__ = (
+        "path",
+        "segments",
+        "seg_lengths",
+        "seg_bounds",
+        "degenerate",
+        "handle_pos",
+        "pos_handle",
+        "in_queue",
+        "stale_pops",
+        "stale_drops",
+        "_rects",
+    )
+
+    def __init__(self, path: Polyline):
+        self.path = path
+        pts = path.points
+        n = len(pts) - 1
+        self.segments: List[Segment] = [path.segment(i) for i in range(n)]
+        self.seg_lengths: List[float] = [
+            pts[i].distance_to(pts[i + 1]) for i in range(n)
+        ]
+        self.seg_bounds = [s.bounds() for s in self.segments]
+        self.degenerate = [s.is_degenerate() for s in self.segments]
+        #: handle -> current segment position (None once invalidated).
+        self.handle_pos: List[Optional[int]] = list(range(n))
+        #: position -> handle of the segment currently there.
+        self.pos_handle: List[int] = list(range(n))
+        self.in_queue: Set[int] = set(range(n))
+        self.stale_pops = 0
+        self.stale_drops = 0
+        # Lazy oriented_rectangle corner arrays at the engine's fixed
+        # half-width g (constant within one extend() call).
+        self._rects: List[Optional[object]] = [None] * n
+
+    def length(self) -> float:
+        """Trace length; bit-identical to ``self.path.length()``."""
+        return sum(self.seg_lengths)
+
+    def pop_handle(self, handle: int) -> Optional[int]:
+        """Resolve a popped handle to its segment position (None = stale)."""
+        self.in_queue.discard(handle)
+        pos = self.handle_pos[handle]
+        if pos is None:
+            self.stale_pops += 1
+        return pos
+
+    def rect_pts(self, pos: int, half: float):
+        """Cached corner array of ``oriented_rectangle(segment, half)``."""
+        pts = self._rects[pos]
+        if pts is None:
+            poly = oriented_rectangle(self.segments[pos], half)
+            pts = _np.array([(p.x, p.y) for p in poly.points])
+            self._rects[pos] = pts
+        return pts
+
+    def commit(
+        self, index: int, chain: List[Point], candidate: Polyline
+    ) -> List[int]:
+        """Adopt a verified splice; returns the handles to enqueue.
+
+        ``candidate`` must be ``self.path.replace_segment(index, chain)``
+        (the caller builds it first for the rollback check).  Returned
+        handles cover the chain's non-degenerate segments in order — the
+        same segments ``chain_new_segments`` would have keyed.
+        """
+        pts = candidate.points
+        k = len(chain) - 1
+        new_segs = [candidate.segment(index + j) for j in range(k)]
+        self.segments[index : index + 1] = new_segs
+        self.seg_lengths[index : index + 1] = [
+            pts[index + j].distance_to(pts[index + j + 1]) for j in range(k)
+        ]
+        self.seg_bounds[index : index + 1] = [s.bounds() for s in new_segs]
+        self.degenerate[index : index + 1] = [s.is_degenerate() for s in new_segs]
+        self._rects[index : index + 1] = [None] * k
+
+        old_handle = self.pos_handle[index]
+        self.handle_pos[old_handle] = None
+        if old_handle in self.in_queue:
+            # A queued entry just lost its segment: drop it now instead of
+            # letting it alias onto other geometry at pop time.
+            self.in_queue.discard(old_handle)
+            self.stale_drops += 1
+        new_handles: List[int] = []
+        for j in range(k):
+            handle = len(self.handle_pos)
+            self.handle_pos.append(index + j)
+            new_handles.append(handle)
+        self.pos_handle[index : index + 1] = new_handles
+        for pos in range(index + k, len(self.pos_handle)):
+            self.handle_pos[self.pos_handle[pos]] = pos
+        self.path = candidate
+
+        enqueue = [
+            new_handles[j]
+            for j in range(k)
+            if not chain[j].almost_equals(chain[j + 1], 1e-12)
+        ]
+        self.in_queue.update(enqueue)
+        return enqueue
+
+
 class TraceExtender:
     """Extends one trace inside its routable area.
 
@@ -112,6 +278,12 @@ class TraceExtender:
     meander must clear.  The extender never touches the other traces; the
     caller (router) is responsible for giving each trace a consistent
     view of its neighbours.
+
+    ``scene`` lets the router share one :class:`ClearanceScene` across
+    the extenders of a whole board (entries the member itself contributes
+    are masked per query via ``scene_exclude``); without one, the
+    incremental engine indexes ``other_traces`` into a private scene on
+    first use.
     """
 
     def __init__(
@@ -121,6 +293,8 @@ class TraceExtender:
         obstacles: Sequence[Obstacle] = (),
         other_traces: Sequence[Trace] = (),
         config: Optional[ExtensionConfig] = None,
+        scene: Optional[ClearanceScene] = None,
+        scene_exclude: Optional[Sequence[str]] = None,
     ):
         self.rules = rules
         self.area = area
@@ -133,8 +307,22 @@ class TraceExtender:
         # path object changes (paths are immutable, so identity suffices).
         self._seg_index_path: Optional[Polyline] = None
         self._seg_index: Dict[Tuple[float, float, float, float], int] = {}
+        self._scene = scene
+        self._scene_exclude: FrozenSet[str] = frozenset(scene_exclude or ())
+        self._area_pts = None  # numpy (k, 2) of area vertices, lazy
 
     # -- public API -----------------------------------------------------------
+
+    def resolved_engine(self) -> str:
+        """The engine :meth:`extend` will actually run."""
+        engine = self.config.engine
+        if engine not in ("auto", "reference", "incremental"):
+            raise ValueError(f"unknown extension engine {engine!r}")
+        if engine == "reference":
+            return "reference"
+        if not vector_kernels_available():
+            return "reference"
+        return "incremental"
 
     def extend(self, trace: Trace, target: float) -> ExtensionResult:
         """Meander ``trace`` toward ``target`` length (Alg. 1).
@@ -142,6 +330,79 @@ class TraceExtender:
         ``target=math.inf`` requests the extension *upper bound*: extend
         as much as the space allows (the Table II experiment).
         """
+        if self.resolved_engine() == "incremental":
+            return self._extend_incremental(trace, target)
+        return self._extend_reference(trace, target)
+
+    def extension_upper_bound(self, trace: Trace) -> ExtensionResult:
+        """Extend as far as the space allows (Eq. 20's ``l_extended``)."""
+        return self.extend(trace, math.inf)
+
+    def extend_mitered(self, trace: Trace, target: float) -> ExtensionResult:
+        """Extend to ``target`` with ``d_miter`` corner mitering applied.
+
+        The paper's DRC miters every right/acute rotation by obtuse angles
+        (Fig. 1).  Cutting a corner removes ``(2 - sqrt(2)) * d_miter`` of
+        length, so mitering and matching interlock: this method meanders,
+        miters, re-extends to recover the loss, and iterates.  Recovery
+        residuals are usually sub-pattern and close via (obtuse) chevrons,
+        so the loop converges in one or two rounds; freshly inserted
+        right-angle patterns from a large recovery get mitered by the next
+        round.
+        """
+        dmiter = self.rules.dmiter
+        if dmiter <= 0:
+            return self.extend(trace, target)
+        # Meander with d_protect raised by two miter cuts: every created
+        # segment can then afford a cut at both ends and still satisfy the
+        # original d_protect.  The clearance scene carries over: its caches
+        # depend on d_gap/d_obs and trace widths, not d_protect.
+        from dataclasses import replace as _replace
+
+        inner = TraceExtender(
+            rules=_replace(self.rules, dprotect=self.rules.dprotect + 2.0 * dmiter),
+            area=self.area,
+            obstacles=self.obstacles,
+            other_traces=self.other_traces,
+            config=self.config,
+            scene=self._scene,
+            scene_exclude=self._scene_exclude,
+        )
+        result = inner.extend(trace, target)
+        path = result.trace.path
+        iterations = result.iterations
+        patterns = result.patterns_applied
+        rollbacks = result.rollbacks
+        stale = result.stale_drops
+        for _ in range(4):
+            from .pattern import miter_pattern_corners
+
+            mitered = Polyline(
+                miter_pattern_corners(list(path.points), dmiter)
+            ).simplified()
+            path = mitered
+            if target - path.length() <= self.config.tolerance:
+                break
+            again = inner.extend(trace.with_path(path), target)
+            path = again.trace.path
+            iterations += again.iterations
+            patterns += again.patterns_applied
+            rollbacks += again.rollbacks
+            stale += again.stale_drops
+        return ExtensionResult(
+            trace=trace.with_path(path),
+            original=result.original,
+            target=target,
+            achieved=path.length(),
+            iterations=iterations,
+            patterns_applied=patterns,
+            rollbacks=rollbacks,
+            stale_drops=stale,
+        )
+
+    # -- reference engine ---------------------------------------------------------
+
+    def _extend_reference(self, trace: Trace, target: float) -> ExtensionResult:
         cfg = self.config
         original = trace
         path = trace.path.simplified()
@@ -154,6 +415,7 @@ class TraceExtender:
         iterations = 0
         patterns_applied = 0
         rollbacks = 0
+        stale = 0
 
         h_min = max(self.rules.dprotect, 1e-6)
         while queue and iterations < cfg.max_iterations:
@@ -165,6 +427,7 @@ class TraceExtender:
             key = queue.popleft()
             index = self._locate(path, key)
             if index is None:
+                stale += 1
                 continue
             iterations += 1
             obs.REGISTRY.inc("repro_extension_iterations_total")
@@ -190,9 +453,13 @@ class TraceExtender:
                     continue
                 chain, applied = outcome
                 candidate = path.replace_segment(index, chain)
-                if cfg.verify_after_apply and self._conflicts(
+                t_verify = perf_counter()
+                conflict = cfg.verify_after_apply and self._conflicts(
                     candidate, index, len(chain), trace.width
-                ):
+                )
+                if sp.live:
+                    sp.set(verify_s=perf_counter() - t_verify)
+                if conflict:
                     rollbacks += 1
                     if sp.live:
                         sp.set(applied=False, gain=0.0, rollback=True)
@@ -210,21 +477,7 @@ class TraceExtender:
                 for seg in chain_new_segments(chain):
                     queue.append(_segment_key(seg))
 
-        # Finishing stage: a residual below 2*h_min cannot be closed by any
-        # legal convex pattern (each gains at least 2*d_protect), but a
-        # shallow obtuse chevron adds an arbitrarily small length with all
-        # segments above d_protect — an any-direction structure the DRC
-        # admits.  This is what makes exact targets reachable.
-        residual = target - ltrace
-        if cfg.tolerance < residual < 2.0 * h_min and math.isfinite(residual):
-            if cfg.mirrored_chevrons:
-                chevroned = self._insert_mirrored_chevrons(path, residual, trace.width)
-            else:
-                chevroned = self._insert_chevron(path, residual, trace.width)
-            if chevroned is not None:
-                path = chevroned
-                ltrace = path.length()
-
+        path, ltrace = self._finish_chevron(path, target, ltrace, trace.width)
         return ExtensionResult(
             trace=trace.with_path(path),
             original=original,
@@ -233,67 +486,123 @@ class TraceExtender:
             iterations=iterations,
             patterns_applied=patterns_applied,
             rollbacks=rollbacks,
+            stale_drops=stale,
         )
 
-    def extension_upper_bound(self, trace: Trace) -> ExtensionResult:
-        """Extend as far as the space allows (Eq. 20's ``l_extended``)."""
-        return self.extend(trace, math.inf)
+    # -- incremental engine ---------------------------------------------------------
 
-    def extend_mitered(self, trace: Trace, target: float) -> ExtensionResult:
-        """Extend to ``target`` with ``d_miter`` corner mitering applied.
+    def _extend_incremental(self, trace: Trace, target: float) -> ExtensionResult:
+        """The persistent-state engine: same loop, indexed lookups.
 
-        The paper's DRC miters every right/acute rotation by obtuse angles
-        (Fig. 1).  Cutting a corner removes ``(2 - sqrt(2)) * d_miter`` of
-        length, so mitering and matching interlock: this method meanders,
-        miters, re-extends to recover the loss, and iterates.  Recovery
-        residuals are usually sub-pattern and close via (obtuse) chevrons,
-        so the loop converges in one or two rounds; freshly inserted
-        right-angle patterns from a large recovery get mitered by the next
-        round.
+        Every decision point mirrors :meth:`_extend_reference` on the
+        same floats — handle resolution replaces rounded-key lookup,
+        ``state.length()`` re-adds the spliced per-segment lengths the
+        full recompute would sum, and :meth:`_extend_segment_fast` builds
+        the identical local-frame environments from indexed queries.
         """
-        dmiter = self.rules.dmiter
-        if dmiter <= 0:
-            return self.extend(trace, target)
-        # Meander with d_protect raised by two miter cuts: every created
-        # segment can then afford a cut at both ends and still satisfy the
-        # original d_protect.
-        from dataclasses import replace as _replace
+        cfg = self.config
+        original = trace
+        path = trace.path.simplified()
+        if target < path.length() - cfg.tolerance:
+            raise ValueError(
+                f"target {target:.4f} below current length {path.length():.4f}"
+            )
+        self._ensure_fast_context()
+        state = _PathState(path)
+        queue: deque = deque(range(len(state.segments)))
+        ltrace = path.length()
+        iterations = 0
+        patterns_applied = 0
+        rollbacks = 0
 
-        inner = TraceExtender(
-            rules=_replace(self.rules, dprotect=self.rules.dprotect + 2.0 * dmiter),
-            area=self.area,
-            obstacles=self.obstacles,
-            other_traces=self.other_traces,
-            config=self.config,
-        )
-        result = inner.extend(trace, target)
-        path = result.trace.path
-        iterations = result.iterations
-        patterns = result.patterns_applied
-        rollbacks = result.rollbacks
-        for _ in range(4):
-            from .pattern import miter_pattern_corners
-
-            mitered = Polyline(
-                miter_pattern_corners(list(path.points), dmiter)
-            ).simplified()
-            path = mitered
-            if target - path.length() <= self.config.tolerance:
+        h_min = max(self.rules.dprotect, 1e-6)
+        while queue and iterations < cfg.max_iterations:
+            need = target - ltrace
+            if need <= cfg.tolerance:
                 break
-            again = inner.extend(trace.with_path(path), target)
-            path = again.trace.path
-            iterations += again.iterations
-            patterns += again.patterns_applied
-            rollbacks += again.rollbacks
+            if need < 2.0 * h_min:
+                break  # below any legal pattern gain; chevron stage below
+            handle = queue.popleft()
+            index = state.pop_handle(handle)
+            if index is None:
+                continue
+            iterations += 1
+            obs.REGISTRY.inc("repro_extension_iterations_total")
+            with obs.span("extension.iteration", iteration=iterations, need=need) as sp:
+                dtw_before = (
+                    obs.REGISTRY.value("repro_dtw_calls_total") if sp.live else 0.0
+                )
+                outcome = self._extend_segment_fast(state, index, trace.width, need)
+                if sp.live:
+                    sp.set(
+                        dtw_calls=int(
+                            obs.REGISTRY.value("repro_dtw_calls_total") - dtw_before
+                        )
+                    )
+                if outcome is None:
+                    if sp.live:
+                        sp.set(applied=False, gain=0.0)
+                    continue
+                chain, applied = outcome
+                candidate = state.path.replace_segment(index, chain)
+                t_verify = perf_counter()
+                conflict = cfg.verify_after_apply and self._conflicts(
+                    candidate, index, len(chain), trace.width
+                )
+                if sp.live:
+                    sp.set(verify_s=perf_counter() - t_verify)
+                if conflict:
+                    rollbacks += 1
+                    if sp.live:
+                        sp.set(applied=False, gain=0.0, rollback=True)
+                    continue
+                queue.extend(state.commit(index, chain, candidate))
+                new_length = state.length()
+                if sp.live:
+                    sp.set(
+                        applied=True,
+                        patterns=len(applied),
+                        gain=new_length - ltrace,
+                    )
+                patterns_applied += len(applied)
+                ltrace = new_length
+
+        path = state.path
+        path, ltrace = self._finish_chevron(path, target, ltrace, trace.width)
         return ExtensionResult(
             trace=trace.with_path(path),
-            original=result.original,
+            original=original,
             target=target,
-            achieved=path.length(),
+            achieved=ltrace,
             iterations=iterations,
-            patterns_applied=patterns,
+            patterns_applied=patterns_applied,
             rollbacks=rollbacks,
+            stale_drops=state.stale_pops + state.stale_drops,
         )
+
+    def _finish_chevron(
+        self, path: Polyline, target: float, ltrace: float, width: float
+    ) -> Tuple[Polyline, float]:
+        """Finishing stage shared by both engines.
+
+        A residual below 2*h_min cannot be closed by any legal convex
+        pattern (each gains at least 2*d_protect), but a shallow obtuse
+        chevron adds an arbitrarily small length with all segments above
+        d_protect — an any-direction structure the DRC admits.  This is
+        what makes exact targets reachable.
+        """
+        cfg = self.config
+        h_min = max(self.rules.dprotect, 1e-6)
+        residual = target - ltrace
+        if cfg.tolerance < residual < 2.0 * h_min and math.isfinite(residual):
+            if cfg.mirrored_chevrons:
+                chevroned = self._insert_mirrored_chevrons(path, residual, width)
+            else:
+                chevroned = self._insert_chevron(path, residual, width)
+            if chevroned is not None:
+                path = chevroned
+                ltrace = path.length()
+        return path, ltrace
 
     # -- per-segment machinery ---------------------------------------------------
 
@@ -421,9 +730,13 @@ class TraceExtender:
         # DP size = candidate count of this iteration's span (no-op when
         # tracing is off).
         obs.annotate(candidates=dp_cfg.n, segment_length=seg.length())
+        t0 = perf_counter()
         envs = self._environments(path, index, width, dp_cfg)
+        t1 = perf_counter()
         dp = SegmentDP(dp_cfg, envs)
         result = dp.run()
+        t2 = perf_counter()
+        obs.annotate(env_query_s=t1 - t0, dp_s=t2 - t1, pruned=False)
         if result.gain <= self.config.min_extension_gain or not result.patterns:
             return None
         patterns = self._trim_to_need(result.patterns, need, envs, dp_cfg)
@@ -431,6 +744,151 @@ class TraceExtender:
             return None
         frames = {d: Frame.from_segment(seg, d) for d in (1, -1)}
         chain = patterns_to_chain(seg, patterns, frames)
+        obs.annotate(trim_s=perf_counter() - t2)
+        if len(chain) < 3:
+            return None
+        return chain, patterns
+
+    # -- incremental environment assembly ----------------------------------------
+
+    def _ensure_fast_context(self) -> None:
+        """Build the lazy per-extender pieces of the incremental engine."""
+        if self._area_pts is None:
+            self._area_pts = _np.array([(p.x, p.y) for p in self.area.points])
+        if self._scene is None:
+            self._scene = ClearanceScene.from_context(
+                self.obstacles, self.other_traces
+            )
+
+    def _environments_fast(
+        self, state: _PathState, index: int, width: float, dp_cfg: DPConfig
+    ) -> Dict[int, VectorShrinkEnvironment]:
+        """Both-direction environments from one batched transform.
+
+        Collects the exact polygon list :meth:`_world_polygons` assembles
+        (area, windowed obstacles, windowed other-trace hulls, windowed
+        self hulls — same order, same windowing floats, served from the
+        scene's index) as raw coordinate blocks, maps them through the
+        segment frame in one vectorized pass (the same IEEE expressions
+        :meth:`Frame.to_local` evaluates per point), and mirrors the -1
+        direction by negating y — exactly what the mirrored frame does.
+        """
+        seg = state.segments[index]
+        g = dp_cfg.g
+        reach = dp_cfg.h_init + g
+        xmin, ymin, xmax, ymax = state.seg_bounds[index]
+        window = (xmin - reach, ymin - reach, xmax + reach, ymax + reach)
+
+        chunks: List[object] = [self._area_pts]
+        sizes: List[int] = [len(self._area_pts)]
+        inflation = max(0.0, self.rules.dobs + width / 2.0 - g)
+        self._scene.collect_window(
+            chunks, sizes, window, self.rules.dgap, inflation, self._scene_exclude
+        )
+        self._collect_self_window(state, index, g, window, chunks, sizes)
+
+        pts = _np.concatenate(chunks, axis=0)
+        sizes_arr = _np.asarray(sizes)
+        d = seg.direction()
+        dx = pts[:, 0] - seg.a.x
+        dy = pts[:, 1] - seg.a.y
+        lx = dx * d.x + dy * d.y
+        ly = -dx * d.y + dy * d.x
+        return {
+            1: VectorShrinkEnvironment(lx, ly, sizes_arr),
+            -1: VectorShrinkEnvironment(lx, -ly, sizes_arr),
+        }
+
+    def _collect_self_window(
+        self,
+        state: _PathState,
+        index: int,
+        g: float,
+        window,
+        chunks: List[object],
+        sizes: List[int],
+    ) -> None:
+        """:meth:`_self_polygons` over the path state's cached geometry."""
+        n_segs = len(state.segments)
+        for j in range(n_segs):
+            if j == index:
+                continue
+            if state.degenerate[j]:
+                continue
+            if j == index - 1 or j == index + 1:
+                seg_j = _trimmed(
+                    state.segments[j], at_end=(j == index - 1), amount=2.0 * g
+                )
+                if seg_j is None:
+                    continue
+                b = seg_j.bounds()
+                if (
+                    b[0] - g <= window[2]
+                    and window[0] <= b[2] + g
+                    and b[1] - g <= window[3]
+                    and window[1] <= b[3] + g
+                ):
+                    poly = oriented_rectangle(seg_j, g)
+                    chunks.append(_np.array([(p.x, p.y) for p in poly.points]))
+                    sizes.append(4)
+                continue
+            b = state.seg_bounds[j]
+            if (
+                b[0] - g <= window[2]
+                and window[0] <= b[2] + g
+                and b[1] - g <= window[3]
+                and window[1] <= b[3] + g
+            ):
+                chunks.append(state.rect_pts(j, g))
+                sizes.append(4)
+
+    def _extend_segment_fast(
+        self, state: _PathState, index: int, width: float, need: float
+    ) -> Optional[Tuple[List[Point], List[Pattern]]]:
+        """:meth:`_extend_segment` over the persistent state.
+
+        Adds the whole-segment feasibility prune: a pattern at feet
+        ``(il, ir)`` needs height ``>= h_min``, and its height never
+        exceeds ``min(col_bound[il], col_bound[ir])`` (the same admissible
+        bound the DP's per-transition prune relies on) — so when no foot
+        pair at least ``w_min`` steps apart clears ``h_min`` in either
+        direction, the DP provably gains nothing and is skipped.
+        """
+        seg = state.segments[index]
+        dp_cfg = self._dp_config(seg, width, need)
+        if dp_cfg is None:
+            return None
+        obs.annotate(candidates=dp_cfg.n, segment_length=seg.length())
+        t0 = perf_counter()
+        envs = self._environments_fast(state, index, width, dp_cfg)
+        xs = _np.arange(dp_cfg.n) * dp_cfg.step
+        col_bounds: Dict[int, List[float]] = {}
+        feasible = False
+        for direction in (1, -1):
+            cb = envs[direction].column_bounds(xs, dp_cfg.g)
+            bounds = [min(dp_cfg.h_init, float(v) - dp_cfg.g) for v in cb]
+            col_bounds[direction] = bounds
+            if not feasible:
+                ok = [i for i, b in enumerate(bounds) if b >= dp_cfg.h_min]
+                if ok and ok[-1] - ok[0] >= dp_cfg.w_min:
+                    feasible = True
+        t1 = perf_counter()
+        if not feasible:
+            obs.annotate(env_query_s=t1 - t0, dp_s=0.0, pruned=True)
+            obs.REGISTRY.inc("repro_extension_pruned_total")
+            return None
+        dp = SegmentDP(dp_cfg, envs, col_bounds=col_bounds)
+        result = dp.run()
+        t2 = perf_counter()
+        obs.annotate(env_query_s=t1 - t0, dp_s=t2 - t1, pruned=False)
+        if result.gain <= self.config.min_extension_gain or not result.patterns:
+            return None
+        patterns = self._trim_to_need(result.patterns, need, envs, dp_cfg)
+        if not patterns:
+            return None
+        frames = {d: Frame.from_segment(seg, d) for d in (1, -1)}
+        chain = patterns_to_chain(seg, patterns, frames)
+        obs.annotate(trim_s=perf_counter() - t2)
         if len(chain) < 3:
             return None
         return chain, patterns

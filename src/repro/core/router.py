@@ -20,6 +20,8 @@ from .. import obs
 from ..dtw import convert_pair, restore_pair
 from ..model import Board, DesignRules, DifferentialPair, MatchGroup, Trace
 from .extension import ExtensionConfig, TraceExtender
+from .scene import ClearanceScene
+from .shrink import vector_kernels_available
 
 
 @dataclass
@@ -99,6 +101,36 @@ class LengthMatchingRouter:
     def __init__(self, board: Board, config: Optional[RouterConfig] = None):
         self.board = board
         self.config = config or RouterConfig()
+        # One clearance scene for the whole board, shared by every
+        # member's extender (the member itself is masked per query) and
+        # kept in sync as members get rerouted — later members of a group
+        # see their neighbours' meanders without any rebuild.  Built
+        # lazily on first use; stays None when the incremental extension
+        # engine is unavailable or disabled.
+        self._scene: Optional[ClearanceScene] = None
+
+    # -- shared clearance scene ----------------------------------------------------
+
+    def _shared_scene(self) -> Optional[ClearanceScene]:
+        if self.config.extension.engine == "reference" or not vector_kernels_available():
+            return None
+        if self._scene is None:
+            scene = ClearanceScene(self.board.obstacles)
+            # Registration order mirrors _context_traces: board traces
+            # first, then pair sub-traces (owner = the pair, so excluding
+            # a pair name masks both halves).
+            for trace in self.board.traces:
+                scene.add_trace(trace)
+            for pair in self.board.pairs:
+                scene.add_trace(pair.trace_p, owner=pair.name)
+                scene.add_trace(pair.trace_n, owner=pair.name)
+            self._scene = scene
+        return self._scene
+
+    def _scene_updated(self, *traces: Trace) -> None:
+        if self._scene is not None:
+            for trace in traces:
+                self._scene.update_trace(trace)
 
     # -- public API --------------------------------------------------------------
 
@@ -213,6 +245,8 @@ class LengthMatchingRouter:
             obstacles=self.board.obstacles,
             other_traces=self._context_traces(exclude),
             config=ext_cfg,
+            scene=self._shared_scene(),
+            scene_exclude=exclude,
         )
 
     def _match_trace(
@@ -228,6 +262,7 @@ class LengthMatchingRouter:
         else:
             result = extender.extend(trace, target)
         self.board.replace_trace(result.trace)
+        self._scene_updated(result.trace)
         return MemberReport(
             name=trace.name,
             kind="trace",
@@ -316,6 +351,7 @@ class LengthMatchingRouter:
                 min_bump_width=base_rules.dprotect,
             )
         self.board.replace_pair(restoration.pair)
+        self._scene_updated(restoration.pair.trace_p, restoration.pair.trace_n)
         return MemberReport(
             name=pair.name,
             kind="pair",

@@ -30,16 +30,45 @@ DRC-clean.
 The module also owns the environment bookkeeping: node range tree
 (Sec. IV-D), edge buckets for O(1)-ish side queries, and the per-column
 node bound used by the DP as an admissible upper-bound prefilter.
+
+Two interchangeable backends implement that bookkeeping:
+
+* :class:`ShrinkEnvironment` — the pure-Python reference, built from
+  :class:`~repro.geometry.Polygon` objects exactly as the paper states it
+  (range tree and all).  Always available; the equivalence oracle.
+* :class:`VectorShrinkEnvironment` — the same queries over flat numpy
+  coordinate arrays, skipping the per-build range-tree construction that
+  dominated the extension loop's profile.  Query results are bit-identical
+  to the reference (``tests/core/test_shrink_fast.py`` enforces this in
+  the style of ``tests/dtw/test_dtw_fast.py``); only construction cost
+  differs.  Available when numpy is importable and ``REPRO_PURE_PYTHON``
+  is unset — :func:`vector_kernels_available`.
 """
 
 from __future__ import annotations
 
 import bisect
 import math
-from typing import Dict, List, Sequence, Tuple
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..geometry import Point, Polygon, PointRangeTree
 from .ura import URA
+
+try:  # pragma: no cover - exercised via vector_kernels_available()
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def vector_kernels_available() -> bool:
+    """True when the numpy-backed shrink/DP kernels can be used.
+
+    ``REPRO_PURE_PYTHON=1`` forces the pure-Python reference path even
+    with numpy installed — the switch CI's no-numpy leg and the
+    equivalence suite use to pin the fallback.
+    """
+    return _np is not None and not os.environ.get("REPRO_PURE_PYTHON")
 
 #: Strictness margin for inside/outside decisions: geometry touching a
 #: border exactly meets the clearance rule and must not trigger shrinking.
@@ -142,6 +171,36 @@ class ShrinkEnvironment:
                 best = y
         return best
 
+    def column_bounds(self, xs: Sequence[float], g: float) -> List[float]:
+        """:meth:`column_node_bound` for a batch of abscissas.
+
+        The DP calls this once per (segment, direction) for all ``n``
+        discretization points; the vector backend answers it in one
+        windowed-minimum sweep instead of ``n`` scalar queries.
+        """
+        return [self.column_node_bound(x, g) for x in xs]
+
+    # -- backend primitives (overridden by the vector backend) --------------------
+
+    def _nodes_in_box(
+        self, xmin: float, xmax: float, ymin: float, ymax: float
+    ) -> Sequence[int]:
+        """Node ids inside the closed box, in ascending id order.
+
+        Ascending order is the canonical candidate order of the shrink
+        fixpoint — independent of which index structure found the nodes,
+        so both backends seed the fixpoint identically.
+        """
+        return sorted(self.tree.query(xmin, xmax, ymin, ymax))
+
+    def _node_pid(self, nid: int) -> int:
+        """Owning polygon id of node ``nid``."""
+        return self.node_poly[nid]
+
+    def _poly_points(self, pid: int) -> Tuple[Point, ...]:
+        """Vertices of polygon ``pid`` as Point objects."""
+        return self.polygons[pid]
+
     # -- the full shrink (Alg. 2 + Eqs. 10-13) ---------------------------------------
 
     def max_pattern_height(
@@ -183,19 +242,19 @@ class ShrinkEnvironment:
         # Steps 2+3 — node checks against the (shrinking) outer and inner
         # borders, iterated to the fixpoint.  P_check comes from the range
         # tree exactly as in Sec. IV-D.
-        candidate_ids = self.tree.query(
+        candidate_ids = self._nodes_in_box(
             xl_out + TOUCH_EPS, xr_out - TOUCH_EPS, TOUCH_EPS, h_ob - TOUCH_EPS
         )
         active: Dict[int, bool] = {}
         for nid in candidate_ids:
-            active[self.node_poly[nid]] = True
+            active[self._node_pid(nid)] = True
 
         changed = True
         while changed and active:
             changed = False
             ura = URA(x_left, x_right, g, h_ob)
             for pid in list(active):
-                pts = self.polygons[pid]
+                pts = self._poly_points(pid)
                 inside = [p for p in pts if ura.point_inside_outer(p, TOUCH_EPS)]
                 if not inside:
                     del active[pid]
@@ -223,3 +282,128 @@ class ShrinkEnvironment:
 
         h = min(h_init, h_ob - g)
         return h if h >= h_min else 0.0
+
+
+class VectorShrinkEnvironment(ShrinkEnvironment):
+    """Numpy-backed shrink environment over flat coordinate arrays.
+
+    Built from the already-transformed local-frame coordinates of the
+    world polygons — ``xs``/``ys`` are the concatenated vertex arrays and
+    ``sizes`` the per-polygon vertex counts.  Construction is a handful of
+    O(N) array ops (the reference build's range tree alone is O(N log N)
+    with a large Python constant), which is what makes a fresh environment
+    per extension iteration affordable.
+
+    Every query matches :class:`ShrinkEnvironment` bit-for-bit: the same
+    float expressions evaluate elementwise (IEEE-754 ops are deterministic
+    per element), the same strict/touching comparisons select candidates,
+    and reductions are plain minima, which are order-independent.
+    """
+
+    def __init__(self, xs, ys, sizes):  # numpy arrays; no Polygon objects
+        if _np is None:  # pragma: no cover - callers gate on availability
+            raise RuntimeError("VectorShrinkEnvironment requires numpy")
+        self._xs = xs
+        self._ys = ys
+        self._sizes = sizes
+        ends = _np.cumsum(sizes)
+        self._starts = ends - sizes
+        self._pid_of_node = _np.repeat(_np.arange(len(sizes)), sizes)
+        n = len(xs)
+        # Edge i runs from vertex i to the next vertex of the same polygon
+        # (wrapping at polygon boundaries) — identical to the reference's
+        # ``pts[i] -> pts[(i + 1) % n]`` enumeration.
+        nxt = _np.arange(1, n + 1)
+        if n:
+            nxt[ends - 1] = self._starts
+        self._bx = xs[nxt] if n else xs
+        self._by = ys[nxt] if n else ys
+        # Nodes sorted by x for the column-bound windowed minimum.
+        order = _np.argsort(xs, kind="stable")
+        self._xs_sorted = xs[order]
+        ys_sorted = ys[order]
+        # Nodes at or below TOUCH_EPS never bound a column (strict
+        # interior rule); mask them to +inf once.
+        self._col_ys = _np.where(ys_sorted > TOUCH_EPS, ys_sorted, _np.inf)
+        self._poly_cache: Dict[int, Tuple[Point, ...]] = {}
+        # x -> lowest crossing ordinate of the side line at x (inf when
+        # none).  The crossing set does not depend on the current h_ob,
+        # so one evaluation serves every shrink of the environment.
+        self._side_memo: Dict[float, float] = {}
+
+    # -- backend primitives --------------------------------------------------------
+
+    def _nodes_in_box(self, xmin, xmax, ymin, ymax):
+        mask = (
+            (self._xs >= xmin)
+            & (self._xs <= xmax)
+            & (self._ys >= ymin)
+            & (self._ys <= ymax)
+        )
+        return _np.nonzero(mask)[0]
+
+    def _node_pid(self, nid: int) -> int:
+        return int(self._pid_of_node[nid])
+
+    def _poly_points(self, pid: int) -> Tuple[Point, ...]:
+        pts = self._poly_cache.get(pid)
+        if pts is None:
+            s = int(self._starts[pid])
+            e = s + int(self._sizes[pid])
+            pts = tuple(
+                Point(float(x), float(y))
+                for x, y in zip(self._xs[s:e], self._ys[s:e])
+            )
+            self._poly_cache[pid] = pts
+        return pts
+
+    # -- queries -------------------------------------------------------------------
+
+    def side_bound(self, x: float, h_ob: float) -> float:
+        # The reference accumulates min(h_ob, min crossing y in
+        # (TOUCH_EPS, h_ob)); with S(x) the global crossing minimum above
+        # TOUCH_EPS that is exactly S(x) when S(x) < h_ob and h_ob
+        # otherwise — so S(x) memoizes across the many h_ob values the
+        # DP probes at the same foot abscissas.
+        s = self._side_memo.get(x)
+        if s is None:
+            s = self._side_min(x)
+            self._side_memo[x] = s
+        return s if s < h_ob else h_ob
+
+    def _side_min(self, x: float) -> float:
+        dxa = self._xs - x
+        dxb = self._bx - x
+        # The scalar loop's skip rules (both strictly right, both strictly
+        # left, either endpoint touching the line) leave exactly the
+        # strict sign changes:
+        keep = ((dxa > TOUCH_EPS) & (dxb < -TOUCH_EPS)) | (
+            (dxa < -TOUCH_EPS) & (dxb > TOUCH_EPS)
+        )
+        if not keep.any():
+            return math.inf
+        da = dxa[keep]
+        db = dxb[keep]
+        t = da / (da - db)
+        ay = self._ys[keep]
+        y = ay + (self._by[keep] - ay) * t
+        sel = y > TOUCH_EPS
+        if not sel.any():
+            return math.inf
+        return float(y[sel].min())
+
+    def column_node_bound(self, x: float, g: float) -> float:
+        return float(self.column_bounds(_np.asarray([x]), g)[0])
+
+    def column_bounds(self, xs, g: float):
+        xs = _np.asarray(xs)
+        lo = _np.searchsorted(self._xs_sorted, xs - g + TOUCH_EPS, side="left")
+        hi = _np.searchsorted(self._xs_sorted, xs + g - TOUCH_EPS, side="right")
+        if len(self._xs_sorted) == 0:
+            return _np.full(len(xs), _np.inf)
+        # minimum.reduceat over interleaved [lo, hi) pairs; the +inf
+        # sentinel keeps hi == len legal, empty windows are patched after.
+        arr = _np.append(self._col_ys, _np.inf)
+        idx = _np.stack([lo, hi], axis=1).ravel()
+        mins = _np.minimum.reduceat(arr, idx)[::2]
+        return _np.where(lo < hi, mins, _np.inf)

@@ -62,8 +62,23 @@ class SegmentGrid:
         ``payload`` (default: the insertion index itself) is what queries
         report back — typically a ``(trace_index, segment_index)`` key.
         """
+        return self.insert_bounds(seg.bounds(), payload)
+
+    def insert_bounds(self, bounds: Bounds, payload: Any = None) -> int:
+        """Index a raw ``(xmin, ymin, xmax, ymax)`` box; returns its index.
+
+        The grid never cared that its boxes came from segments — this is
+        the same indexing for any bounded geometry (obstacle outlines,
+        clearance hulls), so the clearance scene can share one structure
+        for segments and polygons alike.
+        """
         index = len(self._items)
-        bounds = seg.bounds()
+        bounds = (
+            float(bounds[0]),
+            float(bounds[1]),
+            float(bounds[2]),
+            float(bounds[3]),
+        )
         self._items.append((bounds, index if payload is None else payload))
         for key in self._cover(bounds):
             self._cells.setdefault(key, []).append(index)

@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.bench.perf import make_drc_board, run_perf
+from repro.bench.perf import (
+    check_perf_guard,
+    make_drc_board,
+    run_perf,
+    run_perf_guard,
+    run_profile,
+)
 from repro.drc import check_board
 from repro.io import drc_report_to_dict
 
@@ -60,6 +66,21 @@ class TestRunPerfQuick:
         assert all(r["cold_status"] == "ok" for r in rows)
         assert all(r["speedup"] > 3.0 for r in rows)
 
+    def test_extension_phase(self, payload):
+        rows = payload["phases"]["extension"]
+        assert rows
+        # The engine-equivalence gate: both engines routed the same bits.
+        assert all(r["identical"] for r in rows)
+        assert all(r["stale_drops"] == 0 for r in rows)
+        assert all(r["reference_s"] > 0 and r["extend_s"] > 0 for r in rows)
+        from repro.core import vector_kernels_available
+
+        if vector_kernels_available():
+            assert all(r["engine"] == "incremental" for r in rows)
+            # The incremental engine must already win clearly at the
+            # quick scale (the committed full-mode baseline shows >5x).
+            assert all(r["speedup"] > 3.0 for r in rows)
+
     def test_extension_breakdown_phase(self, payload):
         rows = payload["phases"]["extension_breakdown"]
         assert len(rows) == 1
@@ -68,6 +89,24 @@ class TestRunPerfQuick:
         assert row["per_iteration"]
         assert row["per_iteration"][0]["duration_ms"] > 0
         assert row["iteration_ms"]["p99"] >= row["iteration_ms"]["p50"] > 0
+        # The env-vs-DP-vs-trim/verify split: every stage column is
+        # present, non-negative, and the annotated stages fit inside the
+        # total iteration time.
+        stages = row["stages"]
+        assert set(stages) == {
+            "env_query_s",
+            "dp_s",
+            "trim_s",
+            "verify_s",
+            "other_s",
+            "pruned_iterations",
+        }
+        assert all(v >= 0 for v in stages.values())
+        assert stages["env_query_s"] > 0 and stages["dp_s"] > 0
+        assert 0 <= stages["pruned_iterations"] <= row["iterations"]
+        first = row["per_iteration"][0]
+        assert first["env_query_ms"] is not None
+        assert first["pruned"] in (True, False)
         over = row["overhead"]
         assert over["disabled_s"] > 0 and over["traced_s"] > 0
         # The instrumented-but-disabled path must sit within noise of
@@ -105,6 +144,87 @@ class TestMakeDrcBoard:
         assert drc_report_to_dict(fast) == drc_report_to_dict(
             check_board(b2, check_areas=False, exhaustive=True)
         )
+
+
+def _guard_payload(extend_s=0.1, dtw_ref=0.01, identical=True):
+    return {
+        "phases": {
+            "dtw": [{"nodes": 64, "reference_s": dtw_ref}],
+            "extension": [
+                {
+                    "dgap": 4.0,
+                    "extend_s": extend_s,
+                    "identical": identical,
+                }
+            ],
+        }
+    }
+
+
+class TestPerfGuard:
+    def test_passes_when_not_regressed(self):
+        assert check_perf_guard(_guard_payload(0.1), _guard_payload(0.1)) == []
+        # Under 2x is still fine.
+        assert check_perf_guard(_guard_payload(0.19), _guard_payload(0.1)) == []
+
+    def test_fails_on_regression(self):
+        problems = check_perf_guard(_guard_payload(0.25), _guard_payload(0.1))
+        assert problems and "dgap=4.0" in problems[0]
+
+    def test_machine_speed_normalization(self):
+        # A machine 3x slower on the DTW reference proxy gets a 3x wider
+        # allowance — the same workload ratio passes...
+        slow = _guard_payload(extend_s=0.3, dtw_ref=0.03)
+        assert check_perf_guard(slow, _guard_payload(0.1, dtw_ref=0.01)) == []
+        # ...while a genuine engine regression still fails on it.
+        regressed = _guard_payload(extend_s=0.9, dtw_ref=0.03)
+        assert check_perf_guard(regressed, _guard_payload(0.1, dtw_ref=0.01))
+
+    def test_fails_when_engines_disagree(self):
+        problems = check_perf_guard(
+            _guard_payload(identical=False), _guard_payload()
+        )
+        assert any("identical" in p for p in problems)
+
+    def test_unknown_dgaps_are_skipped(self):
+        current = _guard_payload()
+        current["phases"]["extension"][0]["dgap"] = 9.9
+        assert check_perf_guard(current, _guard_payload()) == []
+
+    def test_missing_phases_reported(self):
+        problems = check_perf_guard({"phases": {}}, _guard_payload())
+        assert len(problems) == 2  # no dtw proxy, no extension phase
+
+    def test_run_perf_guard_reads_baseline_file(self, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_perf.json"
+        baseline.write_text(json.dumps(_guard_payload(0.1)))
+        assert run_perf_guard(str(baseline), _guard_payload(0.1)) is True
+        assert "perf-guard OK" in capsys.readouterr().out
+        assert run_perf_guard(str(baseline), _guard_payload(0.9)) is False
+        assert "perf-guard FAIL" in capsys.readouterr().out
+
+    def test_guard_against_committed_baseline_shape(self):
+        # The committed BENCH_perf.json must keep the fields the guard
+        # reads — this is the schema contract the CI step depends on.
+        with open("BENCH_perf.json", "r", encoding="utf-8") as fh:
+            committed = json.load(fh)
+        assert _dtw_nodes(committed), "baseline lost its dtw proxy rows"
+        for row in committed["phases"]["extension"]:
+            assert "extend_s" in row and "dgap" in row
+
+
+def _dtw_nodes(payload):
+    return [r["nodes"] for r in payload["phases"]["dtw"] if r.get("reference_s")]
+
+
+class TestRunProfile:
+    def test_writes_top25_cumulative_table(self, tmp_path):
+        out = tmp_path / "BENCH_profile.txt"
+        assert run_profile(str(out), quick=True, verbose=False) == str(out)
+        text = out.read_text()
+        assert "cumulative" in text
+        assert "extension" in text  # the hot path shows up by file name
+        assert "top 25" in text
 
 
 class TestCliPerf:
@@ -145,3 +265,11 @@ class TestCliPerf:
         assert "--cases" in capsys.readouterr().err
         assert main(["bench", "--perf", "--json"]) == 2
         assert "--json" in capsys.readouterr().err
+
+    def test_profile_and_guard_without_perf_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "table1", "--profile"]) == 2
+        assert "--profile" in capsys.readouterr().err
+        assert main(["bench", "table1", "--guard", "BENCH_perf.json"]) == 2
+        assert "--guard" in capsys.readouterr().err

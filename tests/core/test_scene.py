@@ -1,0 +1,233 @@
+"""ClearanceScene vs. the exhaustive world-polygon scan.
+
+The scene's window queries must reproduce the seed extender's
+``_world_polygons`` context scan *exactly* — same polygons, same floats,
+same order — under registration, exclusion and in-place trace updates.
+The oracle here is a verbatim reimplementation of that scan's context
+portion (obstacles + other-trace clearance rectangles; the area and the
+trace's own segments stay with the extender and are out of scope).
+"""
+
+import random
+
+import pytest
+
+from repro.core import ClearanceScene, vector_kernels_available
+from repro.geometry import Point, Polygon, Polyline, Segment, oriented_rectangle
+from repro.model import Obstacle, Trace
+
+pytest.importorskip("numpy")
+
+pytestmark = pytest.mark.skipif(
+    not vector_kernels_available(),
+    reason="vector kernels disabled (REPRO_PURE_PYTHON)",
+)
+
+
+def _bbox_hits(b, window):
+    return (
+        b[0] <= window[2]
+        and window[0] <= b[2]
+        and b[1] <= window[3]
+        and window[1] <= b[3]
+    )
+
+
+def reference_polygons(obstacles, traces, window, dgap, inflation, exclude):
+    """The seed extender's context scan, verbatim (order included)."""
+    out = []
+    for obstacle in obstacles:
+        if _bbox_hits(obstacle.bounds(), window):
+            out.append(obstacle.inflated(inflation))
+    for trace, owner in traces:
+        if trace.name in exclude or (owner is not None and owner in exclude):
+            continue
+        half = (trace.width + dgap) / 2.0
+        for seg in trace.segments():
+            if seg.is_degenerate():
+                continue
+            b = seg.bounds()
+            inflated = (b[0] - half, b[1] - half, b[2] + half, b[3] + half)
+            if _bbox_hits(inflated, window):
+                out.append(oriented_rectangle(seg, half))
+    return out
+
+
+def random_board(seed, n_obstacles=6, n_traces=5):
+    rng = random.Random(seed)
+    obstacles = []
+    for k in range(n_obstacles):
+        cx, cy = rng.uniform(-40, 40), rng.uniform(-40, 40)
+        w, h = rng.uniform(0.5, 8.0), rng.uniform(0.5, 8.0)
+        obstacles.append(
+            Obstacle(
+                polygon=Polygon(
+                    [
+                        Point(cx - w, cy - h),
+                        Point(cx + w, cy - h),
+                        Point(cx + w, cy + h),
+                        Point(cx - w, cy + h),
+                    ]
+                ),
+                name=f"ob{k}",
+            )
+        )
+    traces = []
+    for k in range(n_traces):
+        x, y = rng.uniform(-40, 20), rng.uniform(-40, 40)
+        pts = [Point(x, y)]
+        for _ in range(rng.randint(1, 6)):
+            x += rng.uniform(0.0, 12.0)
+            y += rng.uniform(-6.0, 6.0)
+            pts.append(Point(x, y))
+        owner = f"pair{k}" if k % 2 else None
+        traces.append(
+            (Trace(f"t{k}", Polyline(pts), width=rng.uniform(0.4, 1.2)), owner)
+        )
+    return obstacles, traces
+
+
+def make_scene(obstacles, traces):
+    scene = ClearanceScene(obstacles)
+    for trace, owner in traces:
+        scene.add_trace(trace, owner=owner)
+    return scene
+
+
+def random_window(rng):
+    x0, y0 = rng.uniform(-50, 30), rng.uniform(-50, 30)
+    return (x0, y0, x0 + rng.uniform(1.0, 60.0), y0 + rng.uniform(1.0, 60.0))
+
+
+def assert_same_polygons(got, want):
+    assert [tuple(p.points) for p in got] == [tuple(p.points) for p in want]
+
+
+class TestQueryEquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_windows_match_exhaustive_scan(self, seed):
+        obstacles, traces = random_board(seed)
+        scene = make_scene(obstacles, traces)
+        rng = random.Random(seed + 500)
+        for _ in range(15):
+            window = random_window(rng)
+            dgap = rng.choice((2.5, 4.0))
+            inflation = rng.uniform(0.0, 3.0)
+            assert_same_polygons(
+                scene.query_polygons(window, dgap, inflation),
+                reference_polygons(
+                    obstacles, traces, window, dgap, inflation, frozenset()
+                ),
+            )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exclusion_by_name_and_owner(self, seed):
+        obstacles, traces = random_board(seed)
+        scene = make_scene(obstacles, traces)
+        rng = random.Random(seed + 900)
+        window = (-60.0, -60.0, 60.0, 60.0)
+        # Excluding a sub-trace name drops it; excluding the owning pair
+        # name drops every sub-trace of that pair — the router's
+        # _context_traces filter, expressed as a query mask.
+        for exclude in (
+            frozenset({"t0"}),
+            frozenset({"pair1"}),
+            frozenset({"t2", "pair3"}),
+            frozenset({"no-such-trace"}),
+        ):
+            assert_same_polygons(
+                scene.query_polygons(window, 4.0, 1.0, exclude),
+                reference_polygons(obstacles, traces, window, 4.0, 1.0, exclude),
+            )
+
+    def test_whole_board_and_empty_windows(self):
+        obstacles, traces = random_board(3)
+        scene = make_scene(obstacles, traces)
+        everything = scene.query_polygons((-1e9, -1e9, 1e9, 1e9), 4.0, 1.0)
+        assert_same_polygons(
+            everything,
+            reference_polygons(
+                obstacles, traces, (-1e9, -1e9, 1e9, 1e9), 4.0, 1.0, frozenset()
+            ),
+        )
+        assert len(everything) > 0
+        assert scene.query_polygons((900.0, 900.0, 901.0, 901.0), 4.0, 1.0) == []
+
+    def test_degenerate_segments_never_reported(self):
+        trace = Trace(
+            "z",
+            Polyline([Point(0, 0), Point(5, 0), Point(5, 0), Point(9, 2)]),
+            width=1.0,
+        )
+        scene = ClearanceScene([])
+        scene.add_trace(trace)
+        got = scene.query_polygons((-10, -10, 20, 20), 4.0, 0.0)
+        assert len(got) == 2  # the zero-length middle segment is dropped
+
+    def test_collect_window_matches_query_polygons(self):
+        obstacles, traces = random_board(7)
+        scene = make_scene(obstacles, traces)
+        window = (-30.0, -30.0, 30.0, 30.0)
+        polys = scene.query_polygons(window, 2.5, 0.75)
+        chunks, sizes = [], []
+        scene.collect_window(chunks, sizes, window, 2.5, 0.75)
+        assert len(chunks) == len(sizes) == len(polys)
+        for pts, size, poly in zip(chunks, sizes, polys):
+            assert size == len(pts) == len(poly.points)
+            assert [(p.x, p.y) for p in poly.points] == [
+                (float(x), float(y)) for x, y in pts
+            ]
+
+
+class TestMutation:
+    def test_update_trace_changes_answers(self):
+        trace = Trace("t", Polyline([Point(0, 0), Point(10, 0)]), width=1.0)
+        scene = ClearanceScene([])
+        scene.add_trace(trace)
+        window = (-5.0, -5.0, 15.0, 5.0)
+        before = scene.query_polygons(window, 4.0, 0.0)
+        assert len(before) == 1
+
+        moved = Trace("t", Polyline([Point(0, 100), Point(10, 100)]), width=1.0)
+        scene.update_trace(moved)
+        assert scene.query_polygons(window, 4.0, 0.0) == []
+        assert len(scene.query_polygons((-5, 95, 15, 105), 4.0, 0.0)) == 1
+
+    def test_update_unknown_trace_is_ignored(self):
+        scene = ClearanceScene([])
+        scene.update_trace(
+            Trace("ghost", Polyline([Point(0, 0), Point(1, 0)]), width=1.0)
+        )
+        assert scene.trace_names() == []
+
+    def test_duplicate_registration_rejected(self):
+        scene = ClearanceScene([])
+        scene.add_trace(Trace("t", Polyline([Point(0, 0), Point(1, 0)]), width=1.0))
+        with pytest.raises(ValueError):
+            scene.add_trace(
+                Trace("t", Polyline([Point(5, 5), Point(6, 5)]), width=1.0)
+            )
+
+    def test_update_matches_fresh_scene(self):
+        # After an update, every query must equal a scene built from
+        # scratch over the new geometry — the router relies on this when
+        # it reroutes members of a group one by one.
+        obstacles, traces = random_board(11)
+        scene = make_scene(obstacles, traces)
+        rerouted = Trace(
+            "t1",
+            Polyline([Point(-20, -20), Point(0, -18), Point(20, -22)]),
+            width=0.8,
+        )
+        scene.update_trace(rerouted)
+        fresh_traces = [
+            (rerouted if t.name == "t1" else t, owner) for t, owner in traces
+        ]
+        fresh = make_scene(obstacles, fresh_traces)
+        rng = random.Random(42)
+        for _ in range(10):
+            window = random_window(rng)
+            assert_same_polygons(
+                scene.query_polygons(window, 4.0, 1.0),
+                fresh.query_polygons(window, 4.0, 1.0),
+            )

@@ -73,6 +73,30 @@ class TestSegmentGrid:
             grid.insert(seg, f"s{k}")
         assert grid.query_bounds(-1, -1, 6, 1) == ["s0", "s1", "s2"]
 
+    @pytest.mark.parametrize("seed", range(6))
+    def test_insert_bounds_matches_segment_insert(self, seed):
+        # Raw-box insertion is the same indexing segments get — a grid
+        # fed seg.bounds() directly must answer every query identically.
+        rng = random.Random(200 + seed)
+        segments = random_segments(rng, 50)
+        by_seg = SegmentGrid(cell=5.0)
+        by_box = SegmentGrid(cell=5.0)
+        for i, seg in enumerate(segments):
+            by_seg.insert(seg, i)
+            assert by_box.insert_bounds(seg.bounds(), i) == i
+        for _ in range(15):
+            x0, y0 = rng.uniform(-70, 60), rng.uniform(-70, 60)
+            x1, y1 = x0 + rng.uniform(0, 25), y0 + rng.uniform(0, 25)
+            assert by_box.query_bounds(x0, y0, x1, y1) == by_seg.query_bounds(
+                x0, y0, x1, y1
+            )
+
+    def test_insert_bounds_accepts_degenerate_boxes(self):
+        grid = SegmentGrid(cell=2.0)
+        grid.insert_bounds((1.0, 1.0, 1.0, 1.0), "pt")
+        assert grid.query_bounds(0.0, 0.0, 2.0, 2.0) == ["pt"]
+        assert grid.query_bounds(1.5, 1.5, 3.0, 3.0) == []
+
     def test_default_payload_is_index(self):
         grid = SegmentGrid(cell=1.0)
         assert grid.insert(Segment(Point(0, 0), Point(1, 0))) == 0
